@@ -1,0 +1,242 @@
+package vflmarket
+
+// One benchmark per table and figure of the paper's evaluation section.
+// Each benchmark iteration regenerates the experiment's rows/series at a
+// reduced-but-faithful scale (synthetic gains, fewer runs); the cmd/figures
+// and cmd/tables binaries run the same code at paper scale. The two
+// Ablation benchmarks quantify the design choices DESIGN.md calls out.
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exp"
+	"repro/internal/vfl"
+)
+
+// benchOpts is the reduced-scale option set shared by the experiment
+// benchmarks.
+func benchOpts(runs int) exp.Options {
+	return exp.Options{
+		Runs:       runs,
+		Seed:       1,
+		Scale:      0.5,
+		Horizon:    60,
+		GainSource: exp.GainSynthetic,
+	}
+}
+
+// BenchmarkTable2DatasetStats regenerates Table 2 (dataset statistics) at
+// the paper's full sample counts.
+func BenchmarkTable2DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.RunTable2(1)
+		if len(rows) != 3 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkFigure2RandomForest regenerates the Figure 2 panels (bargaining
+// dynamics + final-quote densities, random-forest base model).
+func BenchmarkFigure2RandomForest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.RunFigure23(vfl.RandomForest, benchOpts(10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Datasets) != 3 {
+			b.Fatal("wrong dataset count")
+		}
+	}
+}
+
+// BenchmarkFigure3MLP regenerates the Figure 3 panels (same dynamics with
+// the 3-layer MLP base model).
+func BenchmarkFigure3MLP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.RunFigure23(vfl.MLP, benchOpts(10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Datasets) != 3 {
+			b.Fatal("wrong dataset count")
+		}
+	}
+}
+
+// BenchmarkTable3BargainingCost regenerates Table 3 (effect of bargaining
+// cost: linear and exponential C(T) at two ε per dataset).
+func BenchmarkTable3BargainingCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t3, err := exp.RunTable3(benchOpts(10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t3.Rows) != 30 { // 3 datasets × 2 ε × 5 cost settings
+			b.Fatalf("rows = %d", len(t3.Rows))
+		}
+	}
+}
+
+// BenchmarkTable4Imperfect regenerates Table 4 (imperfect vs perfect
+// performance information, both base models).
+func BenchmarkTable4Imperfect(b *testing.B) {
+	opts := exp.Table4Options{
+		Options:           benchOpts(4),
+		ExplorationRounds: 40,
+		MaxRounds:         120,
+		Models:            []vfl.BaseModel{vfl.RandomForest},
+	}
+	opts.Datasets = []dataset.Name{dataset.Titanic, dataset.Credit, dataset.Adult}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t4, err := exp.RunTable4(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t4.Cols) != 6 {
+			b.Fatalf("cols = %d", len(t4.Cols))
+		}
+	}
+}
+
+// BenchmarkFigure4EstimatorMSE regenerates Figure 4 (per-round MSE of the
+// ΔG estimation networks on both parties).
+func BenchmarkFigure4EstimatorMSE(b *testing.B) {
+	opts := exp.Figure4Options{
+		Options:           benchOpts(3),
+		Rounds:            80,
+		ExplorationRounds: 80,
+		Models:            []vfl.BaseModel{vfl.RandomForest},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f4, err := exp.RunFigure4(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(f4.Panels) != 3 {
+			b.Fatalf("panels = %d", len(f4.Panels))
+		}
+	}
+}
+
+// BenchmarkAblationGainCache quantifies the gain-memoization design choice:
+// it plays a real-VFL bargaining session and reports trained courses with
+// and without the cache (see DESIGN.md §5).
+func BenchmarkAblationGainCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ab, err := exp.RunGainCacheAblation(dataset.Titanic, vfl.RandomForest, 0.25, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(ab.TrainingsWithCache), "trainings-cached")
+		b.ReportMetric(float64(ab.TrainingsWithout), "trainings-uncached")
+	}
+}
+
+// BenchmarkAblationPriceSampler compares candidate-pool sizes for the
+// strategic task party (Algorithm 1 line 16): finer pools converge closer
+// to the reserved price at the cost of more rounds.
+func BenchmarkAblationPriceSampler(b *testing.B) {
+	for _, poolSize := range []int{60, 300, 1200} {
+		b.Run("pool-"+strconv.Itoa(poolSize), func(b *testing.B) {
+			m, err := New(Config{Dataset: "titanic", Synthetic: true, Scale: 0.5, Seed: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var rounds, overpay float64
+			n := 0
+			for i := 0; i < b.N; i++ {
+				cfg := m.Session()
+				cfg.PriceSamples = poolSize
+				cfg.Seed = uint64(i)
+				res, err := m.BargainWith(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Outcome == Success {
+					rounds += float64(len(res.Rounds))
+					reserved := m.Catalog().Bundles[res.Final.BundleID].Reserved
+					overpay += res.Final.Price.Rate - reserved.Rate
+					n++
+				}
+			}
+			if n > 0 {
+				b.ReportMetric(rounds/float64(n), "rounds/op")
+				b.ReportMetric(overpay/float64(n), "rate-overpay/op")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBisection compares the future-work bisection offer
+// strategy against linear pool escalation: rounds to close vs the payment
+// premium it costs.
+func BenchmarkAblationBisection(b *testing.B) {
+	for _, strat := range []struct {
+		name string
+		s    core.TaskStrategy
+	}{
+		{"escalation", TaskStrategic},
+		{"bisection", TaskBisection},
+	} {
+		b.Run(strat.name, func(b *testing.B) {
+			m, err := New(Config{Dataset: "titanic", Synthetic: true, Scale: 0.5, Seed: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var rounds, pay float64
+			n := 0
+			for i := 0; i < b.N; i++ {
+				res, err := m.Bargain(BargainOptions{Seed: uint64(i), TaskGreed: strat.s})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Outcome == Success {
+					rounds += float64(len(res.Rounds))
+					pay += res.Final.Payment
+					n++
+				}
+			}
+			if n > 0 {
+				b.ReportMetric(rounds/float64(n), "rounds/op")
+				b.ReportMetric(pay/float64(n), "payment/op")
+			}
+		})
+	}
+}
+
+// BenchmarkBargainPerfect measures one strategic perfect-information game.
+func BenchmarkBargainPerfect(b *testing.B) {
+	m, err := New(Config{Dataset: "titanic", Synthetic: true, Scale: 0.5, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Bargain(BargainOptions{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBargainImperfect measures one estimation-based game including
+// online estimator training.
+func BenchmarkBargainImperfect(b *testing.B) {
+	m, err := New(Config{Dataset: "titanic", Synthetic: true, Scale: 0.5, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.BargainImperfect(uint64(i), 40); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command sweep runs the parameter-sensitivity studies that extend the
+// paper's ε analysis (Table 3) to the market's other knobs: the candidate
+// price-pool size, the task party's utility rate, and the catalog size.
+//
+// Usage:
+//
+//	go run ./cmd/sweep -param epsilon -dataset titanic [-runs 50] [-synthetic]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	ds := flag.String("dataset", "titanic", "dataset: titanic, credit, or adult")
+	param := flag.String("param", "epsilon", "parameter: epsilon, pool-size, utility-rate, catalog-size")
+	valuesFlag := flag.String("values", "", "comma-separated values (defaults per parameter)")
+	runs := flag.Int("runs", 50, "bargaining games per value")
+	seed := flag.Uint64("seed", 1, "master seed")
+	scale := flag.Float64("scale", 1, "profile scale in (0,1]")
+	synthetic := flag.Bool("synthetic", false, "use synthetic gains")
+	asCSV := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	var p exp.SweepParam
+	var defaults []float64
+	switch *param {
+	case "epsilon":
+		p, defaults = exp.SweepEpsilon, []float64{1e-5, 1e-4, 1e-3, 1e-2, 5e-2}
+	case "pool-size":
+		p, defaults = exp.SweepPoolSize, []float64{30, 100, 300, 1000}
+	case "utility-rate":
+		p, defaults = exp.SweepUtilityRate, []float64{100, 300, 1000, 3000}
+	case "catalog-size":
+		p, defaults = exp.SweepCatalogSize, []float64{8, 16, 32, 64}
+	default:
+		log.Fatalf("unknown parameter %q", *param)
+	}
+	values := defaults
+	if *valuesFlag != "" {
+		values = nil
+		for _, s := range strings.Split(*valuesFlag, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				log.Fatalf("bad value %q: %v", s, err)
+			}
+			values = append(values, v)
+		}
+	}
+
+	opts := exp.Options{Runs: *runs, Seed: *seed, Scale: *scale}
+	if *synthetic {
+		opts.GainSource = exp.GainSynthetic
+	}
+	sweep, err := exp.RunSweep(dataset.Name(*ds), p, values, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Sensitivity of bargaining outcomes to %s on %s.\n", p, *ds)
+	tab := exp.FormatSweep(sweep)
+	if *asCSV {
+		err = tab.WriteCSV(os.Stdout)
+	} else {
+		err = tab.Render(os.Stdout)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}

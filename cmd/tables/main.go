@@ -1,0 +1,68 @@
+// Command tables regenerates the paper's tables.
+//
+// Table 2: dataset statistics. Table 3: the effect of bargaining cost.
+// Table 4: bargaining under imperfect vs perfect performance information.
+//
+// Usage:
+//
+//	go run ./cmd/tables -table 3 [-runs 100] [-scale 1] [-synthetic] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tables: ")
+	table := flag.Int("table", 3, "table to regenerate: 2, 3, or 4")
+	runs := flag.Int("runs", 100, "bargaining games per configuration")
+	seed := flag.Uint64("seed", 1, "master seed")
+	scale := flag.Float64("scale", 1, "profile scale in (0,1]; lower is faster")
+	synthetic := flag.Bool("synthetic", false, "use synthetic gains instead of training real VFL courses")
+	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	opts := exp.Options{Runs: *runs, Seed: *seed, Scale: *scale}
+	if *synthetic {
+		opts.GainSource = exp.GainSynthetic
+	}
+	render := func(tab *exp.TextTable) {
+		var err error
+		if *asCSV {
+			err = tab.WriteCSV(os.Stdout)
+		} else {
+			err = tab.Render(os.Stdout)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	switch *table {
+	case 2:
+		fmt.Println("Table 2: Dataset statistics.")
+		render(exp.FormatTable2(exp.RunTable2(*seed)))
+	case 3:
+		fmt.Println("Table 3: Effect of bargaining cost (random-forest base model).")
+		res, err := exp.RunTable3(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(exp.FormatTable3(res))
+	case 4:
+		fmt.Println("Table 4: Bargaining under imperfect performance information.")
+		res, err := exp.RunTable4(exp.Table4Options{Options: opts})
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(exp.FormatTable4(res))
+	default:
+		log.Fatalf("unknown table %d (want 2, 3, or 4)", *table)
+	}
+}

@@ -1,0 +1,85 @@
+// Command vflmarket runs a single bargaining session end to end and prints
+// the round-by-round trace: the quoted prices, the bundles the data party
+// offers, the realized performance gains, and the final transaction.
+//
+// Usage:
+//
+//	go run ./cmd/vflmarket -dataset titanic [-model forest] [-imperfect] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vflmarket: ")
+	ds := flag.String("dataset", "titanic", "dataset: titanic, credit, or adult")
+	model := flag.String("model", "forest", "VFL base model: forest or mlp")
+	seed := flag.Uint64("seed", 1, "seed")
+	scale := flag.Float64("scale", 0.5, "profile scale in (0,1]")
+	synthetic := flag.Bool("synthetic", false, "use synthetic gains (fast)")
+	imperfect := flag.Bool("imperfect", false, "bargain under imperfect performance information")
+	explore := flag.Int("explore", 60, "exploration rounds N (imperfect only)")
+	verbose := flag.Bool("v", false, "print every round")
+	flag.Parse()
+
+	market, err := vflmarket.New(vflmarket.Config{
+		Dataset: *ds, Model: *model, Seed: *seed, Scale: *scale, Synthetic: *synthetic,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	session := market.Session()
+	fmt.Printf("Market: %s (%s gains), %d bundles\n", *ds, gainsKind(*synthetic), market.Catalog().Len())
+	fmt.Printf("Task party: u=%.4g, budget=%.4g, target ΔG*=%.4g\n",
+		session.U, session.Budget, session.TargetGain)
+	fmt.Printf("Opening quote: p=%.4g, P0=%.4g, Ph=%.4g\n\n",
+		session.InitRate, session.InitBase, session.InitBase+session.InitRate*session.TargetGain)
+
+	var rounds []vflmarket.RoundRecord
+	var outcome vflmarket.Outcome
+	var final vflmarket.RoundRecord
+	if *imperfect {
+		res, err := market.BargainImperfect(*seed, *explore)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rounds, outcome, final = res.Rounds, res.Outcome, res.Final
+	} else {
+		res, err := market.Bargain(vflmarket.BargainOptions{Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rounds, outcome, final = res.Rounds, res.Outcome, res.Final
+	}
+
+	if *verbose {
+		for _, r := range rounds {
+			fmt.Printf("round %3d: quote(p=%.3g P0=%.3g Ph=%.3g) bundle=%d ΔG=%.4g payment=%.4g net=%.4g\n",
+				r.Round, r.Price.Rate, r.Price.Base, r.Price.High,
+				r.BundleID, r.Gain, r.Payment, r.NetProfit)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("Outcome: %v after %d rounds\n", outcome, len(rounds))
+	if outcome == vflmarket.Success {
+		b := market.Catalog().Bundles[final.BundleID]
+		fmt.Printf("Transaction: bundle %d %v (reserved p_l=%.3g, P_l=%.3g)\n",
+			b.ID, b.Features, b.Reserved.Rate, b.Reserved.Base)
+		fmt.Printf("  realized ΔG     = %.4g\n", final.Gain)
+		fmt.Printf("  payment (data)  = %.4g\n", final.Payment)
+		fmt.Printf("  net profit (task)= %.4g\n", final.NetProfit)
+	}
+}
+
+func gainsKind(synthetic bool) string {
+	if synthetic {
+		return "synthetic"
+	}
+	return "trained VFL"
+}

@@ -1,0 +1,73 @@
+package vflmarket_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The smallest possible market session: build a Titanic market with
+// synthetic gains and run one strategic bargaining game.
+func Example() {
+	market, err := vflmarket.New(vflmarket.Config{
+		Dataset:   "titanic",
+		Synthetic: true,
+		Seed:      42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := market.Bargain(vflmarket.BargainOptions{Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("outcome:", res.Outcome)
+	fmt.Printf("equilibrium: realized ΔG %.4f at knee %.4f\n",
+		res.Final.Gain, res.Final.Price.TargetGain())
+	// Output:
+	// outcome: success
+	// equilibrium: realized ΔG 0.1395 at knee 0.1395
+}
+
+// EquilibriumPrice constructs the Theorem 3.1 quote whose payment knee sits
+// exactly at a chosen gain.
+func ExampleEquilibriumPrice() {
+	q := vflmarket.EquilibriumPrice(9.5, 1.4, 0.17)
+	fmt.Printf("quote: p=%.1f P0=%.2f Ph=%.3f\n", q.Rate, q.Base, q.High)
+	fmt.Printf("payment at the knee: %.3f (= Ph)\n", q.Payment(0.17))
+	fmt.Printf("payment below the knee: %.3f\n", q.Payment(0.10))
+	fmt.Printf("payment above the knee: %.3f (clamped)\n", q.Payment(0.50))
+	// Output:
+	// quote: p=9.5 P0=1.40 Ph=3.015
+	// payment at the knee: 3.015 (= Ph)
+	// payment below the knee: 2.350
+	// payment above the knee: 3.015 (clamped)
+}
+
+// Comparing the paper's strategic bargaining against the Increase Price
+// baseline on the same market: the strategic buyer nets more.
+func ExampleMarket_Bargain_strategies() {
+	market, err := vflmarket.New(vflmarket.Config{
+		Dataset:   "titanic",
+		Synthetic: true,
+		Seed:      42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	strategic, err := market.Bargain(vflmarket.BargainOptions{Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	baseline, err := market.Bargain(vflmarket.BargainOptions{
+		Seed:      3,
+		TaskGreed: vflmarket.TaskIncreasePrice,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("strategic beats increase-price:",
+		strategic.Final.NetProfit > baseline.Final.NetProfit)
+	// Output:
+	// strategic beats increase-price: true
+}

@@ -1,0 +1,74 @@
+// Cost-aware negotiation: every bargaining round costs both parties (third
+// party query fees, VFL training and communication). This example sweeps
+// the cost shapes of Table 3 — linear a·T and exponential a^T — and shows
+// how growing cost pushes the parties to settle earlier at a less optimal
+// but cheaper equilibrium (Eqs. 6–7 acceptance).
+//
+//	go run ./examples/costaware
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	market, err := vflmarket.New(vflmarket.Config{
+		Dataset:   "titanic",
+		Synthetic: true,
+		Seed:      9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	costs := []struct {
+		label string
+		model vflmarket.CostModel
+	}{
+		{"no cost", vflmarket.CostModel{Kind: vflmarket.NoCost}},
+		{"C(T)=0.1·T", vflmarket.CostModel{Kind: vflmarket.LinearCost, Factor: 0.1}},
+		{"C(T)=1·T", vflmarket.CostModel{Kind: vflmarket.LinearCost, Factor: 1}},
+		{"C(T)=1.01^T", vflmarket.CostModel{Kind: vflmarket.ExpCost, Factor: 1.01}},
+		{"C(T)=1.1^T", vflmarket.CostModel{Kind: vflmarket.ExpCost, Factor: 1.1}},
+	}
+
+	const runs = 25
+	fmt.Printf("%-12s %8s %10s %12s %10s\n", "cost", "rounds", "ΔG", "net profit", "payment")
+	for _, c := range costs {
+		var rounds, successes int
+		var gain, net, pay float64
+		for s := uint64(0); s < runs; s++ {
+			res, err := market.Bargain(vflmarket.BargainOptions{
+				Seed:     s,
+				TaskCost: c.model,
+				DataCost: c.model,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Outcome != vflmarket.Success {
+				continue
+			}
+			successes++
+			rounds += len(res.Rounds)
+			taskNet, dataPay := res.FinalNetRevenue()
+			gain += res.Final.Gain
+			net += taskNet
+			pay += dataPay
+		}
+		if successes == 0 {
+			fmt.Printf("%-12s %8s\n", c.label, "all failed")
+			continue
+		}
+		d := float64(successes)
+		fmt.Printf("%-12s %8.1f %10.4f %12.2f %10.3f\n",
+			c.label, float64(rounds)/d, gain/d, net/d, pay/d)
+	}
+	fmt.Println("\nFaster-growing cost ends negotiations sooner: the parties accept a")
+	fmt.Println("lower ΔG because another round would cost more than it could earn.")
+}

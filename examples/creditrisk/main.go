@@ -1,0 +1,80 @@
+// Credit-risk scenario: a commercial bank (task party) holds account basics
+// and default labels; a credit bureau (data party) holds repayment history.
+// The bank buys repayment features through the bargaining market, with real
+// VFL random-forest courses pricing every bundle — the joint anti-fraud
+// setting the paper's introduction motivates.
+//
+// The example compares the paper's strategic bargaining against the two
+// non-strategic baselines over repeated games, reproducing the Figure 2
+// comparison on the Credit dataset at a small scale.
+//
+//	go run ./examples/creditrisk
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("Building the credit market (training real VFL courses per bundle)...")
+	market, err := vflmarket.New(vflmarket.Config{
+		Dataset: "credit",
+		Model:   "forest",
+		Scale:   0.25, // shrink data/model so the example runs in seconds
+		Seed:    3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	session := market.Session()
+	fmt.Printf("Catalog: %d repayment-feature bundles; best achievable ΔG = %.4f\n\n",
+		market.Catalog().Len(), session.TargetGain)
+
+	const runs = 20
+	type row struct {
+		label string
+		opts  vflmarket.BargainOptions
+	}
+	rows := []row{
+		{"Strategic (ours)", vflmarket.BargainOptions{}},
+		{"Increase Price", vflmarket.BargainOptions{TaskGreed: vflmarket.TaskIncreasePrice}},
+		{"Random Bundle", vflmarket.BargainOptions{DataGreed: vflmarket.DataRandomBundle}},
+	}
+	fmt.Printf("%-18s %9s %9s %9s %9s\n", "strategy", "success", "rounds", "net", "payment")
+	for _, r := range rows {
+		var successes, totalRounds int
+		var net, pay float64
+		for s := uint64(0); s < runs; s++ {
+			opts := r.opts
+			opts.Seed = s
+			res, err := market.Bargain(opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			totalRounds += len(res.Rounds)
+			if res.Outcome == vflmarket.Success {
+				successes++
+				net += res.Final.NetProfit
+				pay += res.Final.Payment
+			}
+		}
+		div := float64(max(successes, 1))
+		fmt.Printf("%-18s %8d%% %9.1f %9.3f %9.3f\n",
+			r.label, 100*successes/runs, float64(totalRounds)/runs, net/div, pay/div)
+	}
+	fmt.Println("\nStrategic bargaining reaches the equilibrium price; Increase Price")
+	fmt.Println("overpays (up to the budget ceiling), and Random Bundle needs more")
+	fmt.Println("rounds and pays more when it survives the task party's Case 4 check.")
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,52 @@
+// Quickstart: build a feature market on the Titanic dataset and run one
+// strategic bargaining game end to end.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Build the market: synthetic gains keep this instant; drop Synthetic
+	// to train real VFL courses for every bundle in the catalog.
+	market, err := vflmarket.New(vflmarket.Config{
+		Dataset:   "titanic",
+		Synthetic: true,
+		Seed:      42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	session := market.Session()
+	fmt.Printf("The data party offers %d feature bundles.\n", market.Catalog().Len())
+	fmt.Printf("The task party targets ΔG* = %.4f with budget %.1f.\n\n",
+		session.TargetGain, session.Budget)
+
+	// One bargaining game under perfect performance information.
+	res, err := market.Bargain(vflmarket.BargainOptions{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Outcome: %v in %d rounds.\n", res.Outcome, len(res.Rounds))
+	if res.Outcome != vflmarket.Success {
+		return
+	}
+	final := res.Final
+	bundle := market.Catalog().Bundles[final.BundleID]
+	fmt.Printf("Traded bundle: features %v\n", bundle.Features)
+	fmt.Printf("Final quote:   p=%.2f  P0=%.2f  Ph=%.2f\n",
+		final.Price.Rate, final.Price.Base, final.Price.High)
+	fmt.Printf("Realized ΔG:   %.4f (knee at %.4f — Eq. 5 equilibrium)\n",
+		final.Gain, final.Price.TargetGain())
+	fmt.Printf("Data party receives %.3f; task party nets %.2f.\n",
+		final.Payment, final.NetProfit)
+}

@@ -1,0 +1,123 @@
+// Package audit addresses the first limitation the paper's conclusion
+// names: the bargaining model "does not provide protection if the
+// participants manipulate the goods or information when terminating the
+// game" — e.g. a task party that accepts a high-gain bundle but reports a
+// lower ΔG to shrink its payment. The paper's proposed remedy is a
+// trustworthy third party that evaluates the traded bundle independently;
+// this package implements that auditor: it re-evaluates reported gains
+// against its own measurements, flags under- and over-reports beyond a
+// tolerance, and settles the payment from the verified gain.
+package audit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Verdict is the auditor's ruling on one gain report.
+type Verdict int
+
+// Audit verdicts.
+const (
+	// Honest: the report matches the independent measurement within
+	// tolerance.
+	Honest Verdict = iota
+	// UnderReported: the reported gain is below the measurement — the task
+	// party would underpay.
+	UnderReported
+	// OverReported: the reported gain is above the measurement — the data
+	// party would be overpaid (e.g. a colluding report).
+	OverReported
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Honest:
+		return "honest"
+	case UnderReported:
+		return "under-reported"
+	case OverReported:
+		return "over-reported"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Report is one audited settlement.
+type Report struct {
+	Verdict      Verdict
+	ReportedGain float64
+	VerifiedGain float64
+	// Discrepancy is reported - verified.
+	Discrepancy float64
+	// Payment is the settlement computed from the *verified* gain.
+	Payment float64
+}
+
+// Auditor is the trustworthy third party: it can measure any bundle's gain
+// itself (in the perfect-information setting it already pre-trained every
+// bundle, so verification is a lookup).
+type Auditor struct {
+	// Gains is the auditor's independent measurement channel.
+	Gains core.GainProvider
+	// Tolerance absorbs legitimate evaluation noise; reports within it are
+	// honest. Must be non-negative.
+	Tolerance float64
+}
+
+// NewAuditor builds an auditor. It panics on a negative tolerance.
+func NewAuditor(gains core.GainProvider, tolerance float64) *Auditor {
+	if tolerance < 0 {
+		panic("audit: negative tolerance")
+	}
+	return &Auditor{Gains: gains, Tolerance: tolerance}
+}
+
+// Verify audits one settlement: the traded bundle's features, the reported
+// gain, and the quote it was traded under.
+func (a *Auditor) Verify(features []int, reportedGain float64, quote core.QuotedPrice) Report {
+	verified := a.Gains.Gain(features)
+	r := Report{
+		ReportedGain: reportedGain,
+		VerifiedGain: verified,
+		Discrepancy:  reportedGain - verified,
+		Payment:      quote.Payment(verified),
+	}
+	switch {
+	case math.Abs(r.Discrepancy) <= a.Tolerance:
+		r.Verdict = Honest
+	case r.Discrepancy < 0:
+		r.Verdict = UnderReported
+	default:
+		r.Verdict = OverReported
+	}
+	return r
+}
+
+// Settlement audits a whole bargaining result and returns the corrected
+// final payment along with the verdict. A nil result or a non-success
+// outcome settles to zero.
+func (a *Auditor) Settlement(cat *core.Catalog, res *core.Result) (Report, error) {
+	if res == nil {
+		return Report{}, fmt.Errorf("audit: nil result")
+	}
+	if res.Outcome != core.Success {
+		return Report{Verdict: Honest}, nil
+	}
+	if res.Final.BundleID < 0 || res.Final.BundleID >= cat.Len() {
+		return Report{}, fmt.Errorf("audit: bundle %d not in catalog", res.Final.BundleID)
+	}
+	b := cat.Bundles[res.Final.BundleID]
+	return a.Verify(b.Features, res.Final.Gain, res.Final.Price), nil
+}
+
+// UnderpaymentLoss quantifies what a manipulation would have cost the data
+// party: the gap between the honest payment and the payment implied by the
+// (manipulated) report. Positive values mean the data party would have been
+// underpaid.
+func UnderpaymentLoss(r Report, quote core.QuotedPrice) float64 {
+	return r.Payment - quote.Payment(r.ReportedGain)
+}

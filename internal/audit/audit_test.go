@@ -1,0 +1,169 @@
+package audit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func fixedGains(v float64) core.GainProvider {
+	return core.GainFunc(func([]int) float64 { return v })
+}
+
+func TestVerdictString(t *testing.T) {
+	if Honest.String() != "honest" || UnderReported.String() != "under-reported" ||
+		OverReported.String() != "over-reported" {
+		t.Fatal("Verdict.String wrong")
+	}
+	if Verdict(9).String() != "Verdict(9)" {
+		t.Fatal("unknown Verdict.String wrong")
+	}
+}
+
+func TestNewAuditorPanicsOnNegativeTolerance(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAuditor(fixedGains(0.1), -1)
+}
+
+func TestVerifyHonest(t *testing.T) {
+	a := NewAuditor(fixedGains(0.120), 0.005)
+	q := core.QuotedPrice{Rate: 10, Base: 1, High: 3}
+	r := a.Verify([]int{0}, 0.118, q)
+	if r.Verdict != Honest {
+		t.Fatalf("verdict = %v", r.Verdict)
+	}
+	if math.Abs(r.Payment-q.Payment(0.120)) > 1e-12 {
+		t.Fatalf("payment = %v", r.Payment)
+	}
+}
+
+func TestVerifyUnderReport(t *testing.T) {
+	a := NewAuditor(fixedGains(0.120), 0.005)
+	q := core.QuotedPrice{Rate: 10, Base: 1, High: 3}
+	r := a.Verify([]int{0}, 0.05, q)
+	if r.Verdict != UnderReported {
+		t.Fatalf("verdict = %v", r.Verdict)
+	}
+	// The honest payment exceeds the manipulated one: the data party would
+	// have lost the difference.
+	loss := UnderpaymentLoss(r, q)
+	want := q.Payment(0.120) - q.Payment(0.05)
+	if math.Abs(loss-want) > 1e-12 || loss <= 0 {
+		t.Fatalf("loss = %v, want %v", loss, want)
+	}
+}
+
+func TestVerifyOverReport(t *testing.T) {
+	a := NewAuditor(fixedGains(0.05), 0.005)
+	q := core.QuotedPrice{Rate: 10, Base: 1, High: 3}
+	r := a.Verify([]int{0}, 0.2, q)
+	if r.Verdict != OverReported {
+		t.Fatalf("verdict = %v", r.Verdict)
+	}
+	if UnderpaymentLoss(r, q) >= 0 {
+		t.Fatal("over-report should have non-positive underpayment loss")
+	}
+}
+
+func TestSettlementAuditsRealSession(t *testing.T) {
+	gains := core.NewSyntheticGains(6, 0.2, 0, rng.New(3))
+	cat := core.NewCatalog(6, core.CatalogConfig{Size: 16}, rng.New(3), gains)
+	target, _ := cat.MaxGain()
+	rate, base := cat.SuggestInitialPrice()
+	res, err := core.RunPerfect(cat, core.SessionConfig{
+		U: 1000, Budget: 8, TargetGain: target,
+		InitRate: rate, InitBase: base,
+		EpsTask: 1e-3, EpsData: 1e-3, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != core.Success {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	a := NewAuditor(gains, 1e-9)
+	rep, err := a.Settlement(cat, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Honest {
+		t.Fatalf("honest session flagged: %+v", rep)
+	}
+	if math.Abs(rep.Payment-res.Final.Payment) > 1e-12 {
+		t.Fatalf("audited payment %v vs session %v", rep.Payment, res.Final.Payment)
+	}
+}
+
+func TestSettlementDetectsManipulatedReport(t *testing.T) {
+	gains := core.NewSyntheticGains(6, 0.2, 0, rng.New(3))
+	cat := core.NewCatalog(6, core.CatalogConfig{Size: 16}, rng.New(3), gains)
+	target, _ := cat.MaxGain()
+	rate, base := cat.SuggestInitialPrice()
+	res, err := core.RunPerfect(cat, core.SessionConfig{
+		U: 1000, Budget: 8, TargetGain: target,
+		InitRate: rate, InitBase: base,
+		EpsTask: 1e-3, EpsData: 1e-3, Seed: 5,
+	})
+	if err != nil || res.Outcome != core.Success {
+		t.Fatalf("session: %v %v", err, res.Outcome)
+	}
+	// The task party halves its reported gain before settlement.
+	res.Final.Gain /= 2
+	a := NewAuditor(gains, 1e-9)
+	rep, err := a.Settlement(cat, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != UnderReported {
+		t.Fatalf("manipulation not flagged: %+v", rep)
+	}
+}
+
+func TestSettlementEdgeCases(t *testing.T) {
+	gains := fixedGains(0.1)
+	cat := core.NewCatalogFromBundles([]core.Bundle{{Features: []int{0}}}, gains)
+	a := NewAuditor(gains, 0.01)
+	if _, err := a.Settlement(cat, nil); err == nil {
+		t.Fatal("nil result accepted")
+	}
+	rep, err := a.Settlement(cat, &core.Result{Outcome: core.FailTask})
+	if err != nil || rep.Verdict != Honest || rep.Payment != 0 {
+		t.Fatalf("failed session settlement: %+v, %v", rep, err)
+	}
+	bad := &core.Result{Outcome: core.Success}
+	bad.Final.BundleID = 99
+	if _, err := a.Settlement(cat, bad); err == nil {
+		t.Fatal("out-of-catalog bundle accepted")
+	}
+}
+
+// Property: the verdict partition is exact — reports within tolerance are
+// honest, below are under-reports, above are over-reports.
+func TestVerifyPartitionProperty(t *testing.T) {
+	q := core.QuotedPrice{Rate: 10, Base: 1, High: 3}
+	f := func(trueRaw, repRaw uint16) bool {
+		trueGain := float64(trueRaw) / 65536 * 0.3
+		reported := float64(repRaw) / 65536 * 0.3
+		a := NewAuditor(fixedGains(trueGain), 0.01)
+		r := a.Verify([]int{0}, reported, q)
+		d := reported - trueGain
+		switch {
+		case math.Abs(d) <= 0.01:
+			return r.Verdict == Honest
+		case d < 0:
+			return r.Verdict == UnderReported
+		default:
+			return r.Verdict == OverReported
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// estimatorHidden is the architecture of both performance-gain estimators:
+// a 3-layer MLP with embedding dimensions 64, 32, 16 (§4.4).
+var estimatorHidden = []int{64, 32, 16}
+
+// PriceEstimator is the task party's estimation function f(p, P0, Ph; θ_f)
+// → ΔG of Eq. 9. It learns, from the realized gains of past rounds, how
+// much performance gain a quoted price buys. Inputs are normalized by the
+// rate ceiling and budget; the output is trained in units of gainScale so
+// Credit's tiny gains optimize as well as Titanic's large ones.
+type PriceEstimator struct {
+	reg       *nn.Regressor
+	rateScale float64
+	payScale  float64
+	gainScale float64
+}
+
+// NewPriceEstimator builds an untrained f. rateScale is the largest payment
+// rate expected (u or the Eq. 5-implied cap), payScale the budget B, and
+// gainScale a representative gain magnitude (e.g. the target gain).
+func NewPriceEstimator(rateScale, payScale, gainScale float64, seed uint64) *PriceEstimator {
+	if rateScale <= 0 || payScale <= 0 || gainScale <= 0 {
+		panic("core: PriceEstimator scales must be positive")
+	}
+	return &PriceEstimator{
+		reg:       nn.NewRegressor(3, estimatorHidden, 1e-3, seed),
+		rateScale: rateScale,
+		payScale:  payScale,
+		gainScale: gainScale,
+	}
+}
+
+func (e *PriceEstimator) input(q QuotedPrice) tensor.Vector {
+	return tensor.Vector{q.Rate / e.rateScale, q.Base / e.payScale, q.High / e.payScale}
+}
+
+// Predict returns the estimated ΔG of offering quote q.
+func (e *PriceEstimator) Predict(q QuotedPrice) float64 {
+	return e.reg.Predict(e.input(q)) * e.gainScale
+}
+
+// Update trains on one (quote, realized gain) pair and returns the
+// pre-update squared error in normalized gain units — the task-party MSE
+// series of Figure 4.
+func (e *PriceEstimator) Update(q QuotedPrice, gain float64) float64 {
+	return e.reg.Update(e.input(q), gain/e.gainScale)
+}
+
+// BundleEstimator is the data party's estimation function g(F; θ_g) → ΔG of
+// Eq. 8: each data-party feature gets a learned embedding, a bundle is the
+// mean of its features' embeddings (the paper's nn.Embedding + averaging),
+// and a 3-layer MLP maps the pooled embedding to a gain estimate.
+type BundleEstimator struct {
+	emb       *nn.Embedding
+	mlp       *nn.MLP
+	opt       nn.Optimizer
+	gainScale float64
+}
+
+// BundleEmbeddingDim is the per-feature embedding width of g.
+const BundleEmbeddingDim = 16
+
+// NewBundleEstimator builds an untrained g over numFeatures data-party
+// features.
+func NewBundleEstimator(numFeatures int, gainScale float64, seed uint64) *BundleEstimator {
+	if numFeatures <= 0 {
+		panic("core: BundleEstimator needs at least one feature")
+	}
+	if gainScale <= 0 {
+		panic("core: BundleEstimator gainScale must be positive")
+	}
+	src := rng.New(seed)
+	sizes := append(append([]int{BundleEmbeddingDim}, estimatorHidden...), 1)
+	return &BundleEstimator{
+		emb:       nn.NewEmbedding(numFeatures, BundleEmbeddingDim, src.Split(1)),
+		mlp:       nn.NewMLP(sizes, nn.ReLU, nn.Identity, src.Split(2)),
+		opt:       nn.NewAdam(1e-3),
+		gainScale: gainScale,
+	}
+}
+
+// Predict returns the estimated ΔG of a bundle.
+func (e *BundleEstimator) Predict(features []int) float64 {
+	pooled := e.emb.ForwardMean(features)
+	return e.mlp.Forward(pooled)[0] * e.gainScale
+}
+
+// Update trains on one (bundle, realized gain) pair and returns the
+// pre-update squared error in normalized gain units — the data-party MSE
+// series of Figure 4.
+func (e *BundleEstimator) Update(features []int, gain float64) float64 {
+	e.emb.ZeroGrad()
+	e.mlp.ZeroGrad()
+	pooled := e.emb.ForwardMean(features)
+	pred := e.mlp.Forward(pooled)
+	loss, g := nn.MSEGrad(pred[0], gain/e.gainScale)
+	gradIn := e.mlp.Backward(tensor.Vector{g})
+	e.emb.BackwardMean(gradIn)
+	params := append(e.mlp.Params(), e.emb.Params()...)
+	nn.ClipGrads(params, 5)
+	e.opt.Step(params)
+	return loss
+}
+
+// EvalMSE returns the mean squared normalized-gain error of the estimator
+// over a labelled evaluation set; used by tests to check convergence.
+func (e *BundleEstimator) EvalMSE(bundles [][]int, gains []float64) float64 {
+	if len(bundles) != len(gains) || len(bundles) == 0 {
+		panic("core: EvalMSE needs matched non-empty sets")
+	}
+	s := 0.0
+	for i, b := range bundles {
+		d := (e.Predict(b) - gains[i]) / e.gainScale
+		s += d * d
+	}
+	return s / float64(len(bundles))
+}
+
+// EvalMSE returns the mean squared normalized-gain error of f over a
+// labelled evaluation set.
+func (e *PriceEstimator) EvalMSE(quotes []QuotedPrice, gains []float64) float64 {
+	if len(quotes) != len(gains) || len(quotes) == 0 {
+		panic("core: EvalMSE needs matched non-empty sets")
+	}
+	s := 0.0
+	for i, q := range quotes {
+		d := (e.Predict(q) - gains[i]) / e.gainScale
+		s += d * d
+	}
+	return s / float64(len(quotes))
+}
+
+// gainScaleFor picks a numerically sensible output scale from a target
+// gain: the nearest power of ten at or above it, so normalized targets land
+// in (0.1, 1].
+func gainScaleFor(targetGain float64) float64 {
+	if targetGain <= 0 {
+		return 1
+	}
+	return math.Pow(10, math.Ceil(math.Log10(targetGain)))
+}

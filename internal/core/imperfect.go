@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// ImperfectConfig parameterizes bargaining under imperfect performance
+// information (§3.5): neither party knows any bundle's ΔG in advance; both
+// learn estimators online from the VFL courses the bargaining itself runs.
+type ImperfectConfig struct {
+	Session SessionConfig
+
+	// ExplorationRounds is N of Case VII: within the first N rounds the
+	// bargaining never terminates, quotes are sampled for coverage, and the
+	// estimators train (§4.4 uses N = 100).
+	ExplorationRounds int
+
+	// PricePool is the size of the candidate quote set the task party
+	// generates up-front, all conforming to Eq. 5 (§3.5.3). <= 0 means 200.
+	PricePool int
+
+	// ReplaySteps is the number of experience-replay gradient steps each
+	// estimator takes per round on past (offer, realized ΔG) samples, on
+	// top of the fresh-sample update. Bargaining yields one sample per
+	// round, so replay is what lets the estimators converge within the
+	// paper's ~100-round exploration budget. <= 0 means 4; negative
+	// semantics are not used.
+	ReplaySteps int
+}
+
+func (c ImperfectConfig) withDefaults() ImperfectConfig {
+	c.Session = c.Session.withDefaults()
+	if c.ExplorationRounds <= 0 {
+		c.ExplorationRounds = 100
+	}
+	if c.PricePool <= 0 {
+		c.PricePool = 200
+	}
+	if c.ReplaySteps <= 0 {
+		c.ReplaySteps = 4
+	}
+	return c
+}
+
+// ImperfectResult extends Result with the estimator learning curves of
+// Figure 4.
+type ImperfectResult struct {
+	Result
+	// TaskMSE[t] and DataMSE[t] are the pre-update squared errors of f and
+	// g at round t+1, in normalized gain units.
+	TaskMSE []float64
+	DataMSE []float64
+}
+
+// RunImperfect plays the estimation-based bargaining of §3.5 over the
+// catalog. The catalog's gains stand in for the VFL courses: each round the
+// selected bundle's gain is "realized" by running VFL (a catalog lookup
+// here, since the oracle memoizes training) and then used to update both
+// estimators.
+func RunImperfect(cat *Catalog, cfg ImperfectConfig) (*ImperfectResult, error) {
+	cfg = cfg.withDefaults()
+	s := cfg.Session
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if cat.Len() == 0 {
+		return nil, fmt.Errorf("core: empty catalog")
+	}
+	src := rng.New(s.Seed)
+	res := &ImperfectResult{}
+	res.TargetBundleID = cat.TargetBundle(s.TargetGain)
+
+	gainScale := gainScaleFor(s.TargetGain)
+	maxRate := math.Min(s.U, (s.Budget-s.InitBase)/s.TargetGain)
+	f := NewPriceEstimator(maxRate, s.Budget, gainScale, src.Split(1).Uint64())
+
+	numFeatures := 0
+	for _, b := range cat.Bundles {
+		for _, ft := range b.Features {
+			if ft+1 > numFeatures {
+				numFeatures = ft + 1
+			}
+		}
+	}
+	g := NewBundleEstimator(numFeatures, gainScale, src.Split(2).Uint64())
+
+	pool := samplePricePool(s, cfg.PricePool, src.Split(3))
+	quote := EquilibriumPrice(s.InitRate, s.InitBase, s.TargetGain)
+
+	record := func(T int, q QuotedPrice, bundleID int, gain float64) {
+		res.Rounds = append(res.Rounds, RoundRecord{
+			Round: T, Price: q, BundleID: bundleID, Gain: gain,
+			Payment:   q.Payment(gain),
+			NetProfit: s.U*gain - q.Payment(gain),
+			TaskCost:  s.TaskCost.At(T),
+			DataCost:  s.DataCost.At(T),
+		})
+	}
+	finish := func(outcome Outcome) (*ImperfectResult, error) {
+		res.Outcome = outcome
+		if n := len(res.Rounds); n > 0 {
+			res.Final = res.Rounds[n-1]
+		}
+		return res, nil
+	}
+
+	exploreSrc := src.Split(4)
+	replaySrc := src.Split(5)
+	for T := 1; T <= s.MaxRounds; T++ {
+		exploring := T <= cfg.ExplorationRounds
+
+		// ---- Step 2 (data party): estimation-based bundle choice. ----
+		affordable := cat.Affordable(quote)
+		sellerAccepts := false
+		var bundleID int
+		switch {
+		case len(affordable) == 0 && exploring:
+			// Case VII relaxation of Case I: keep the game (and the
+			// estimator training) alive with a random catalog bundle.
+			bundleID = exploreSrc.IntN(cat.Len())
+		case len(affordable) == 0:
+			return finish(FailData) // Case I
+		case exploring:
+			// Coverage over affordable bundles while training g.
+			bundleID = affordable[exploreSrc.IntN(len(affordable))]
+		default:
+			knee := quote.TargetGain()
+			// Inventory-wide prediction range: Case II(2)/(3) ask whether
+			// the knee lies beyond anything the data party could ever
+			// deliver, with the εd margin absorbing estimation error.
+			minAll, maxAll := math.Inf(1), math.Inf(-1)
+			for i := range cat.Bundles {
+				pred := g.Predict(cat.Bundles[i].Features)
+				minAll = math.Min(minAll, pred)
+				maxAll = math.Max(maxAll, pred)
+			}
+			// Affordable-set selection: predicted gain closest to the knee
+			// from below, falling back to the gentlest overshoot; track the
+			// best and worst predicted bundles for the Case II offers.
+			bestBelow, bestAbove := -1, -1
+			var bestBelowPred, bestAbovePred float64
+			maxID, minID := affordable[0], affordable[0]
+			var maxPred, minPred float64 = math.Inf(-1), math.Inf(1)
+			for _, id := range affordable {
+				pred := g.Predict(cat.Bundles[id].Features)
+				if pred > maxPred {
+					maxPred, maxID = pred, id
+				}
+				if pred < minPred {
+					minPred, minID = pred, id
+				}
+				if pred <= knee {
+					if bestBelow < 0 || pred > bestBelowPred {
+						bestBelow, bestBelowPred = id, pred
+					}
+				} else if bestAbove < 0 || pred < bestAbovePred {
+					bestAbove, bestAbovePred = id, pred
+				}
+			}
+			switch {
+			case knee-maxAll > s.EpsData:
+				// Case II(2): the knee is beyond the whole inventory — sell
+				// the best deliverable bundle.
+				bundleID, sellerAccepts = maxID, true
+			case minAll-knee > s.EpsData:
+				// Case II(3): even the weakest bundle overshoots the knee —
+				// the gentlest overshoot already earns the full ceiling.
+				bundleID, sellerAccepts = minID, true
+			default:
+				if bestBelow >= 0 {
+					bundleID = bestBelow
+				} else {
+					bundleID = bestAbove
+				}
+				if knee-g.Predict(cat.Bundles[bundleID].Features) <= s.EpsData {
+					// Case II(1): predicted knee match.
+					sellerAccepts = true
+				}
+			}
+		}
+
+		// ---- Step 3: VFL course realizes the gain; estimators train. ----
+		gain := cat.Gain(bundleID)
+		record(T, quote, bundleID, gain)
+		res.DataMSE = append(res.DataMSE, g.Update(cat.Bundles[bundleID].Features, gain))
+		res.TaskMSE = append(res.TaskMSE, f.Update(quote, gain))
+		// Experience replay: revisit past rounds so one sample per round is
+		// enough to converge within the exploration budget.
+		history := res.Rounds
+		for k := 0; k < cfg.ReplaySteps && len(history) > 1; k++ {
+			past := history[replaySrc.IntN(len(history))]
+			g.Update(cat.Bundles[past.BundleID].Features, past.Gain)
+			f.Update(past.Price, past.Gain)
+		}
+
+		if sellerAccepts && !exploring {
+			return finish(Success) // Case II
+		}
+
+		// ---- Step 1 of next round (task party): react to realized ΔG. ----
+		if !exploring {
+			if gain < BreakEvenGain(s.U, quote) {
+				return finish(FailTask) // Case IV
+			}
+			if gain >= quote.TargetGain()-s.EpsTask {
+				return finish(Success) // Case V
+			}
+			if taskAcceptsUnderCost(s.U, quote, gain, s.TaskCost, T, s.EpsTaskC) {
+				return finish(Success) // Case VI with cost
+			}
+		}
+		// Case VI / Case VII: generate the next offer from the pool. The
+		// exploration flag is for the round the quote will be used in.
+		quote = nextImperfectQuote(s, f, pool, T+1 <= cfg.ExplorationRounds, exploreSrc)
+	}
+	return finish(FailMaxRounds)
+}
+
+// nextImperfectQuote picks the task party's next offer: a random pool
+// member during exploration (coverage for f), and afterwards the §3.5.3
+// rule — prefer quotes whose predicted gain reaches their own knee within
+// εt, maximizing predicted net profit; fall back to the best predicted net
+// profit overall.
+func nextImperfectQuote(s SessionConfig, f *PriceEstimator, pool []QuotedPrice,
+	exploring bool, src *rng.Source) QuotedPrice {
+	if exploring {
+		return pool[src.IntN(len(pool))]
+	}
+	bestFiltered, bestAny := -1, -1
+	var bestFilteredProfit, bestAnyProfit float64
+	for i, q := range pool {
+		pred := f.Predict(q)
+		profit := s.U*pred - q.Payment(pred)
+		if bestAny < 0 || profit > bestAnyProfit {
+			bestAny, bestAnyProfit = i, profit
+		}
+		if pred >= q.TargetGain()-s.EpsTask {
+			// Predicted to reach its knee: the payment saturates at Ph and
+			// any predicted overshoot is estimation noise that Lemma 3.1
+			// says cannot be monetized, so evaluate the profit at the knee —
+			// u·ΔG* − Ph — making this an argmin over ceilings.
+			atKnee := s.U*q.TargetGain() - q.High
+			if bestFiltered < 0 || atKnee > bestFilteredProfit {
+				bestFiltered, bestFilteredProfit = i, atKnee
+			}
+		}
+	}
+	if bestFiltered >= 0 {
+		return pool[bestFiltered]
+	}
+	return pool[bestAny]
+}

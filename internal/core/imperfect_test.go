@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func imperfectFor(cat *Catalog, seed uint64) ImperfectConfig {
+	return ImperfectConfig{
+		Session:           sessionFor(cat, seed),
+		ExplorationRounds: 40,
+		PricePool:         120,
+	}
+}
+
+func TestRunImperfectTerminates(t *testing.T) {
+	cat := testCatalog(t, 6, 61)
+	res, err := RunImperfect(cat, imperfectFor(cat, 61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) == 0 {
+		t.Fatal("no rounds played")
+	}
+	if len(res.Rounds) > 500 {
+		t.Fatalf("%d rounds exceeds MaxRounds", len(res.Rounds))
+	}
+	if len(res.TaskMSE) != len(res.Rounds) || len(res.DataMSE) != len(res.Rounds) {
+		t.Fatalf("MSE series lengths %d/%d vs %d rounds",
+			len(res.TaskMSE), len(res.DataMSE), len(res.Rounds))
+	}
+}
+
+func TestRunImperfectNoTerminationDuringExploration(t *testing.T) {
+	cat := testCatalog(t, 6, 63)
+	cfg := imperfectFor(cat, 63)
+	res, err := RunImperfect(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) < cfg.ExplorationRounds && res.Outcome != FailMaxRounds {
+		t.Fatalf("terminated with %v after %d rounds, inside the %d-round exploration phase",
+			res.Outcome, len(res.Rounds), cfg.ExplorationRounds)
+	}
+}
+
+func TestRunImperfectDeterministic(t *testing.T) {
+	cat := testCatalog(t, 6, 65)
+	a, err := RunImperfect(cat, imperfectFor(cat, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunImperfect(cat, imperfectFor(cat, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Outcome != b.Outcome || len(a.Rounds) != len(b.Rounds) {
+		t.Fatal("RunImperfect not deterministic")
+	}
+	for i := range a.TaskMSE {
+		if a.TaskMSE[i] != b.TaskMSE[i] {
+			t.Fatal("estimator training not deterministic")
+		}
+	}
+}
+
+// Figure 4's claim: the estimators converge — late-round MSE is well below
+// early-round MSE for both parties.
+func TestEstimatorMSEConverges(t *testing.T) {
+	cat := testCatalog(t, 8, 67)
+	cfg := imperfectFor(cat, 67)
+	cfg.ExplorationRounds = 120
+	cfg.Session.MaxRounds = 200
+	res, err := RunImperfect(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DataMSE) < 60 {
+		t.Fatalf("only %d rounds, need a longer trace", len(res.DataMSE))
+	}
+	head := stats.Mean(res.DataMSE[:20])
+	tail := stats.Mean(res.DataMSE[len(res.DataMSE)-20:])
+	if tail >= head {
+		t.Fatalf("data-party estimator MSE did not fall: %v -> %v", head, tail)
+	}
+	headF := stats.Mean(res.TaskMSE[:20])
+	tailF := stats.Mean(res.TaskMSE[len(res.TaskMSE)-20:])
+	if tailF >= headF {
+		t.Fatalf("task-party estimator MSE did not fall: %v -> %v", headF, tailF)
+	}
+}
+
+// Table 4's claim: imperfect-information outcomes are comparable to perfect
+// ones — same ballpark net profit when both succeed.
+func TestImperfectComparableToPerfect(t *testing.T) {
+	cat := testCatalog(t, 8, 69)
+	var perfectNet, imperfectNet []float64
+	for s := uint64(0); s < 10; s++ {
+		pc := sessionFor(cat, s)
+		pr, err := RunPerfect(cat, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.Outcome == Success {
+			perfectNet = append(perfectNet, pr.Final.NetProfit)
+		}
+		ic := imperfectFor(cat, s)
+		ir, err := RunImperfect(cat, ic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ir.Outcome == Success {
+			imperfectNet = append(imperfectNet, ir.Final.NetProfit)
+		}
+	}
+	if len(perfectNet) == 0 || len(imperfectNet) == 0 {
+		t.Fatalf("successes: perfect %d, imperfect %d", len(perfectNet), len(imperfectNet))
+	}
+	p, i := stats.Mean(perfectNet), stats.Mean(imperfectNet)
+	if i < 0.3*p {
+		t.Fatalf("imperfect net profit %v collapsed vs perfect %v", i, p)
+	}
+}
+
+func TestRunImperfectRejectsBadConfig(t *testing.T) {
+	cat := testCatalog(t, 4, 71)
+	cfg := imperfectFor(cat, 71)
+	cfg.Session.U = 0.01
+	if _, err := RunImperfect(cat, cfg); err == nil {
+		t.Fatal("expected config error")
+	}
+	if _, err := RunImperfect(&Catalog{}, imperfectFor(cat, 71)); err == nil {
+		t.Fatal("expected empty catalog error")
+	}
+}
+
+func TestSamplePricePoolSatisfiesEq5(t *testing.T) {
+	cat := testCatalog(t, 6, 73)
+	s := sessionFor(cat, 73).withDefaults()
+	pool := samplePricePool(s, 100, rng.New(1))
+	if len(pool) != 100 {
+		t.Fatalf("pool size = %d", len(pool))
+	}
+	for _, q := range pool {
+		if q.Validate() != nil {
+			t.Fatalf("invalid pool quote %+v", q)
+		}
+		if diff := q.TargetGain() - s.TargetGain; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("pool quote violates Eq. 5: knee %v", q.TargetGain())
+		}
+		if q.High > s.Budget || q.Base < s.InitBase || q.Rate < s.InitRate || q.Rate > s.U {
+			t.Fatalf("pool quote outside constraints: %+v", q)
+		}
+	}
+}
+
+func TestImperfectResultFinalMatchesLastRound(t *testing.T) {
+	cat := testCatalog(t, 6, 75)
+	res, err := RunImperfect(cat, imperfectFor(cat, 75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Rounds[len(res.Rounds)-1]
+	if res.Final != last {
+		t.Fatal("Final is not the last round record")
+	}
+}

@@ -1,0 +1,442 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// TaskStrategy selects how the task party quotes prices.
+type TaskStrategy int
+
+// Task-party strategies compared in §4.2.
+const (
+	// TaskStrategic is the paper's strategy: every quote satisfies the
+	// equilibrium constraint (Ph-P0)/p = ΔG* (Eq. 5), escalating by
+	// sampling candidate prices and choosing the cheapest ceiling.
+	TaskStrategic TaskStrategy = iota
+	// TaskIncreasePrice is the non-strategic baseline: the quote components
+	// are increased arbitrarily each round with no Eq. 5 constraint.
+	TaskIncreasePrice
+	// TaskBisection is the paper's future-work "efficient offer generating"
+	// strategy: instead of walking the Eq. 5 candidate pool linearly, each
+	// failed probe jumps halfway into the remaining (more expensive) pool,
+	// reaching an accepted quote in O(log |pool|) rounds at the price of
+	// overshooting the equilibrium ceiling. The ablation benchmark
+	// quantifies the rounds-vs-overpayment trade.
+	TaskBisection
+)
+
+// String implements fmt.Stringer.
+func (s TaskStrategy) String() string {
+	switch s {
+	case TaskStrategic:
+		return "strategic"
+	case TaskIncreasePrice:
+		return "increase-price"
+	case TaskBisection:
+		return "bisection"
+	default:
+		return fmt.Sprintf("TaskStrategy(%d)", int(s))
+	}
+}
+
+// DataStrategy selects how the data party answers quotes.
+type DataStrategy int
+
+// Data-party strategies compared in §4.2.
+const (
+	// DataStrategic offers the affordable bundle whose gain is closest to
+	// the payment knee (Ph-P0)/p without exceeding it.
+	DataStrategic DataStrategy = iota
+	// DataRandomBundle offers a uniformly random affordable bundle.
+	DataRandomBundle
+)
+
+// String implements fmt.Stringer.
+func (s DataStrategy) String() string {
+	switch s {
+	case DataStrategic:
+		return "strategic"
+	case DataRandomBundle:
+		return "random-bundle"
+	default:
+		return fmt.Sprintf("DataStrategy(%d)", int(s))
+	}
+}
+
+// Outcome is how a bargaining session ended.
+type Outcome int
+
+// Session outcomes.
+const (
+	// Success: the parties agreed on a bundle–payment matching.
+	Success Outcome = iota
+	// FailData: Case 1 — no bundle satisfies the quoted price.
+	FailData
+	// FailTask: Case 4 — the realized gain leaves negative net profit.
+	FailTask
+	// FailMaxRounds: the round budget was exhausted without agreement.
+	FailMaxRounds
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Success:
+		return "success"
+	case FailData:
+		return "fail-data-party"
+	case FailTask:
+		return "fail-task-party"
+	case FailMaxRounds:
+		return "fail-max-rounds"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// SessionConfig parameterizes one bargaining game.
+type SessionConfig struct {
+	U          float64 // the task party's utility rate u (u > p required)
+	Budget     float64 // B, the cap on Ph
+	TargetGain float64 // ΔG*, the task party's target
+	InitRate   float64 // p0 of the base quote
+	InitBase   float64 // P0^0 of the base quote
+
+	EpsTask float64 // εt of Case 5
+	EpsData float64 // εd of Case 2
+
+	MaxRounds    int // hard cap; exceeding it fails the transaction (§4.1.2 uses 500)
+	PriceSamples int // size of the candidate quote set of Algorithm 1 line 16; <= 0 means 300
+	// RateCapFactor bounds candidate payment rates at RateCapFactor·p0 (and
+	// always at u and the Eq. 5 budget implication): economically the task
+	// party weakly prefers low rates, so it never quotes far above the
+	// reserve-price range. <= 0 means 3.
+	RateCapFactor float64
+
+	TaskStrategy TaskStrategy
+	DataStrategy DataStrategy
+
+	// Bargaining costs (§3.4.4). Zero values disable them.
+	TaskCost CostModel
+	DataCost CostModel
+	EpsTaskC float64 // εt,c of Eq. 7
+	EpsDataC float64 // εd,c of Eq. 6
+
+	Seed uint64
+}
+
+func (c SessionConfig) withDefaults() SessionConfig {
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 500
+	}
+	if c.PriceSamples <= 0 {
+		c.PriceSamples = 300
+	}
+	if c.RateCapFactor <= 0 {
+		c.RateCapFactor = 3
+	}
+	return c
+}
+
+// rateCap returns the hard ceiling on candidate payment rates.
+func (c SessionConfig) rateCap() float64 {
+	return math.Min(c.U, c.RateCapFactor*c.InitRate)
+}
+
+// Validate rejects configurations that violate the market's assumptions.
+func (c SessionConfig) Validate() error {
+	if c.U <= c.InitRate {
+		return fmt.Errorf("core: utility rate u=%v must exceed initial payment rate p0=%v", c.U, c.InitRate)
+	}
+	if c.TargetGain <= 0 {
+		return fmt.Errorf("core: target gain %v must be positive", c.TargetGain)
+	}
+	if c.InitRate <= 0 || c.InitBase < 0 {
+		return fmt.Errorf("core: initial price (p0=%v, P0=%v) invalid", c.InitRate, c.InitBase)
+	}
+	if c.Budget < c.InitBase+c.InitRate*c.TargetGain {
+		return fmt.Errorf("core: budget %v cannot fund the initial equilibrium quote %v",
+			c.Budget, c.InitBase+c.InitRate*c.TargetGain)
+	}
+	return nil
+}
+
+// RoundRecord captures one full bargaining round for the Figure 2/3 series.
+type RoundRecord struct {
+	Round     int // 1-based
+	Price     QuotedPrice
+	BundleID  int
+	Gain      float64 // realized ΔG of the VFL course on the offered bundle
+	Payment   float64 // Eq. 2, before bargaining cost
+	NetProfit float64 // Eq. 3 realized, before bargaining cost
+	TaskCost  float64 // C_t at this round
+	DataCost  float64 // C_d at this round
+}
+
+// Result is the full trace and outcome of one bargaining session.
+type Result struct {
+	Outcome Outcome
+	Rounds  []RoundRecord
+	// Final is the last round's record; for Success it is the executed
+	// transaction.
+	Final RoundRecord
+	// TargetBundleID is the catalog bundle closest to the task party's
+	// target gain — the good whose reserved price the density panels of
+	// Figures 2/3 compare the final quote against.
+	TargetBundleID int
+}
+
+// FinalNetRevenue returns the parties' final revenues net of bargaining
+// costs (task net profit, data payment), as reported in Table 3.
+func (r *Result) FinalNetRevenue() (task, data float64) {
+	return r.Final.NetProfit - r.Final.TaskCost, r.Final.Payment - r.Final.DataCost
+}
+
+// RunPerfect plays Algorithm 1: bargaining under perfect performance
+// information over the catalog, returning the full trace.
+func RunPerfect(cat *Catalog, cfg SessionConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cat.Len() == 0 {
+		return nil, fmt.Errorf("core: empty catalog")
+	}
+	src := rng.New(cfg.Seed)
+	res := &Result{TargetBundleID: cat.TargetBundle(cfg.TargetGain)}
+
+	quote := EquilibriumPrice(cfg.InitRate, cfg.InitBase, cfg.TargetGain)
+	if quote.High > cfg.Budget {
+		return nil, fmt.Errorf("core: initial quote ceiling %v exceeds budget %v", quote.High, cfg.Budget)
+	}
+	// Algorithm 1 line 16: the strategic task party samples its candidate
+	// quote set up-front (all satisfying Eq. 5) and escalates through it in
+	// ascending-ceiling order, offering "the rest of the candidate price
+	// offers" round by round.
+	var pool []QuotedPrice
+	poolIdx := 0
+	if cfg.TaskStrategy == TaskStrategic || cfg.TaskStrategy == TaskBisection {
+		pool = samplePricePool(cfg, cfg.PriceSamples, src.Split(0x9001))
+		sort.Slice(pool, func(i, j int) bool { return pool[i].High < pool[j].High })
+	}
+
+	record := func(T int, q QuotedPrice, bundleID int, gain float64) RoundRecord {
+		rec := RoundRecord{
+			Round: T, Price: q, BundleID: bundleID, Gain: gain,
+			Payment:   q.Payment(gain),
+			NetProfit: cfg.U*gain - q.Payment(gain),
+			TaskCost:  cfg.TaskCost.At(T),
+			DataCost:  cfg.DataCost.At(T),
+		}
+		return rec
+	}
+	finish := func(outcome Outcome) (*Result, error) {
+		res.Outcome = outcome
+		if n := len(res.Rounds); n > 0 {
+			res.Final = res.Rounds[n-1]
+		}
+		return res, nil
+	}
+
+	// barren counts consecutive rounds in which the data party had nothing
+	// it could rationally offer. The first such round terminates the game
+	// only when it is the opening round (the paper's Case 1); later barren
+	// rounds are jitter artifacts of the quote path and are tolerated up to
+	// a patience bound while the task party keeps escalating.
+	const barrenPatience = 25
+	barren := 0
+	for T := 1; T <= cfg.MaxRounds; T++ {
+		// ---- Step 2 (data party): choose a bundle under the quote. ----
+		affordable := cat.Affordable(quote)
+		bundleID := -1
+		switch {
+		case len(affordable) == 0:
+			// Case 1 territory: nothing satisfies the reserved prices.
+		case cfg.DataStrategy == DataRandomBundle:
+			bundleID = affordable[src.IntN(len(affordable))]
+		default:
+			// The objective functions are mutually known (§3.3), so the
+			// strategic data party knows u and never offers a bundle whose
+			// gain sits below the Case 4 break-even — such an offer could
+			// only end the game with zero payment (the deterrence role
+			// §3.4.3 ascribes to Case 4).
+			viable := affordable[:0:0]
+			breakEven := BreakEvenGain(cfg.U, quote)
+			for _, id := range affordable {
+				if cat.Gain(id) >= breakEven {
+					viable = append(viable, id)
+				}
+			}
+			if len(viable) > 0 {
+				target := quote.TargetGain()
+				if id, ok := cat.ClosestBelow(viable, target); ok {
+					bundleID = id
+				} else {
+					// Every viable gain exceeds the knee: the cheapest
+					// overshooting bundle still earns the full ceiling.
+					bundleID, _ = cat.ClosestAbove(viable, target)
+				}
+			}
+		}
+		if bundleID < 0 {
+			barren++
+			if T == 1 || barren > barrenPatience {
+				return finish(FailData) // Case 1
+			}
+			next, ok := nextQuote(cfg, quote, pool, &poolIdx, src)
+			if !ok {
+				return finish(FailMaxRounds)
+			}
+			quote = next
+			continue
+		}
+		barren = 0
+
+		// ---- Step 3: the VFL course realizes the gain. ----
+		gain := cat.Gain(bundleID)
+		rec := record(T, quote, bundleID, gain)
+		res.Rounds = append(res.Rounds, rec)
+
+		// Data-party termination (strategic seller only; the random
+		// baseline never reasons about the knee).
+		if cfg.DataStrategy == DataStrategic {
+			slack := quote.TargetGain() - gain
+			switch {
+			case slack <= cfg.EpsData:
+				// Case 2: the offer sits at the knee — accept.
+				return finish(Success)
+			case dataAcceptsUnderCost(cat, quote, gain, cfg.DataCost, T, cfg.EpsDataC):
+				// Case 3 with cost: holding out will not pay for itself.
+				return finish(Success)
+			}
+		}
+
+		// ---- Step 1 of the next round (task party): react to ΔG. ----
+		if gain < BreakEvenGain(cfg.U, quote) {
+			// Case 4: negative net profit — walk away.
+			return finish(FailTask)
+		}
+		if gain >= quote.TargetGain()-cfg.EpsTask {
+			// Case 5: the target is met — pay.
+			return finish(Success)
+		}
+		if taskAcceptsUnderCost(cfg.U, quote, gain, cfg.TaskCost, T, cfg.EpsTaskC) {
+			// Case 6 with cost: further rounds cannot recoup their cost.
+			return finish(Success)
+		}
+		// Case 6: escalate the quote.
+		next, ok := nextQuote(cfg, quote, pool, &poolIdx, src)
+		if !ok {
+			// The budget cannot support a better quote; the game stalls and
+			// the transaction fails by round exhaustion.
+			return finish(FailMaxRounds)
+		}
+		quote = next
+	}
+	return finish(FailMaxRounds)
+}
+
+// nextQuote produces the task party's escalated offer. For TaskStrategic it
+// walks the pre-sampled Eq. 5-conforming candidate set in ascending-ceiling
+// order — each round offers the cheapest remaining ceiling above the current
+// one, i.e. the argmin-Ph of "the rest of the candidate price offers"
+// (Algorithm 1 line 17). For TaskIncreasePrice it bumps the components
+// arbitrarily with no Eq. 5 constraint.
+func nextQuote(cfg SessionConfig, cur QuotedPrice, pool []QuotedPrice, poolIdx *int,
+	src *rng.Source) (QuotedPrice, bool) {
+	switch cfg.TaskStrategy {
+	case TaskIncreasePrice:
+		q := QuotedPrice{
+			Rate: math.Min(cfg.U*0.999, cur.Rate*(1+src.Uniform(0, 0.08))),
+			Base: cur.Base * (1 + src.Uniform(0, 0.05)),
+			High: math.Min(cfg.Budget, cur.High*(1+src.Uniform(0, 0.10))),
+		}
+		if q.High < q.Base {
+			q.High = q.Base
+		}
+		if q.High >= cfg.Budget && q.Base >= cfg.Budget {
+			return cur, false
+		}
+		return q, true
+	case TaskBisection:
+		// Every call means the last probe failed to elicit the target, so
+		// jump halfway into the remaining more-expensive candidates.
+		remaining := len(pool) - *poolIdx
+		if remaining <= 0 {
+			return cur, false
+		}
+		step := remaining / 2
+		if step < 1 {
+			step = 1
+		}
+		*poolIdx += step
+		if *poolIdx > len(pool) {
+			return cur, false
+		}
+		return pool[*poolIdx-1], true
+	default:
+		for *poolIdx < len(pool) {
+			q := pool[*poolIdx]
+			*poolIdx++
+			if q.High > cur.High {
+				return q, true
+			}
+		}
+		return cur, false
+	}
+}
+
+// SamplePricePool draws a task party's Eq. 5-conforming candidate quote set
+// for the session configuration, sorted by ascending ceiling — the offer
+// sequence of Algorithm 1 line 16. Exported for protocol frontends (the
+// wire client) that drive bargaining outside RunPerfect.
+func SamplePricePool(cfg SessionConfig, seed uint64) []QuotedPrice {
+	cfg = cfg.withDefaults()
+	// Identical stream derivation to RunPerfect, so a protocol frontend
+	// with the same seed escalates through the same quotes.
+	pool := samplePricePool(cfg, cfg.PriceSamples, rng.New(seed).Split(0x9001))
+	sort.Slice(pool, func(i, j int) bool { return pool[i].High < pool[j].High })
+	return pool
+}
+
+// samplePricePool draws the task party's up-front candidate quote set:
+// every member satisfies Eq. 5 at the target gain, with
+// p ∈ (p0, rateCap], Ph ∈ (Ph^0, B], P0 = Ph − p·ΔG* ≥ P0^0
+// (Algorithm 1 line 16). Individual rationality adds one more ceiling: a
+// quote with Ph ≥ u·ΔG* earns non-positive net profit even when the target
+// is hit, so no rational task party ever offers it.
+//
+// The rate is coupled to the ceiling — low ceilings carry low rates — with
+// a small jitter. This makes the escalation "incremental" in the paper's
+// sense: walking the pool by ascending ceiling sweeps (p, P0) up a nearly
+// monotone diagonal through the reserve-price plane, so the set of
+// affordable bundles (almost) only grows from round to round.
+func samplePricePool(s SessionConfig, size int, src *rng.Source) []QuotedPrice {
+	minHigh := s.InitBase + s.InitRate*s.TargetGain
+	maxHigh := math.Min(s.Budget, 0.99*s.U*s.TargetGain)
+	if maxHigh <= minHigh {
+		return nil // no rational escalation exists above the opening quote
+	}
+	rcap := s.rateCap()
+	pool := make([]QuotedPrice, 0, size)
+	for guard := 0; len(pool) < size && guard < size*100; guard++ {
+		high := src.Uniform(minHigh, maxHigh)
+		maxRate := math.Min(rcap, (high-s.InitBase)/s.TargetGain)
+		if maxRate <= s.InitRate {
+			continue
+		}
+		t := (high - minHigh) / (maxHigh - minHigh)
+		rate := s.InitRate + (rcap-s.InitRate)*t + src.Uniform(-0.06, 0.06)*(rcap-s.InitRate)
+		rate = math.Min(math.Max(rate, s.InitRate*1.0001), maxRate)
+		q := QuotedPrice{Rate: rate, High: high, Base: high - rate*s.TargetGain}
+		if q.Base < s.InitBase {
+			continue
+		}
+		pool = append(pool, q)
+	}
+	return pool
+}

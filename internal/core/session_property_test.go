@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// Session-level invariants over randomly drawn markets. These are the
+// guarantees the paper's analysis promises for any catalog and any rational
+// configuration, checked end to end through the engine.
+
+// randomMarket draws a catalog and a valid session configuration.
+func randomMarket(seed uint64) (*Catalog, SessionConfig) {
+	src := rng.New(seed)
+	numFeatures := 3 + src.IntN(8)
+	gains := NewSyntheticGains(numFeatures, src.Uniform(0.01, 0.3), 0.02, src.Split(1))
+	cat := NewCatalog(numFeatures, CatalogConfig{Size: 8 + src.IntN(24)}, src.Split(2), gains)
+	target, _ := cat.MaxGain()
+	rate, base := cat.SuggestInitialPrice()
+	cfg := SessionConfig{
+		U:          src.Uniform(200, 3000),
+		Budget:     src.Uniform(6, 12),
+		TargetGain: target,
+		InitRate:   rate,
+		InitBase:   base,
+		EpsTask:    1e-3,
+		EpsData:    1e-3,
+		MaxRounds:  500,
+		Seed:       seed ^ 0xABCDEF,
+	}
+	return cat, cfg
+}
+
+// Property: whatever the outcome, every recorded payment respects the
+// quoted bounds [P0, Ph], and on success the final quote admits the traded
+// bundle's reserved price.
+func TestSessionPaymentBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		cat, cfg := randomMarket(seed)
+		if cfg.Validate() != nil {
+			return true // skip degenerate draws
+		}
+		res, err := RunPerfect(cat, cfg)
+		if err != nil {
+			return false
+		}
+		for _, r := range res.Rounds {
+			if r.Payment < r.Price.Base-1e-9 || r.Payment > r.Price.High+1e-9 {
+				return false
+			}
+		}
+		if res.Outcome == Success {
+			reserved := cat.Bundles[res.Final.BundleID].Reserved
+			if !reserved.Admits(res.Final.Price) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a successful strategic session closes at the knee — the realized
+// gain sits within the tolerances of the quote's target (Eq. 5 equilibrium).
+func TestSessionEquilibriumProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		cat, cfg := randomMarket(seed)
+		if cfg.Validate() != nil {
+			return true
+		}
+		res, err := RunPerfect(cat, cfg)
+		if err != nil {
+			return false
+		}
+		if res.Outcome != Success {
+			return true
+		}
+		slack := res.Final.Price.TargetGain() - res.Final.Gain
+		return slack <= cfg.EpsTask+cfg.EpsData+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on success both parties are individually rational — the task
+// party's net profit is non-negative (up to the Case 2 tolerance) and the
+// payment covers the traded bundle's reserved base.
+func TestSessionRationalityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		cat, cfg := randomMarket(seed)
+		if cfg.Validate() != nil {
+			return true
+		}
+		res, err := RunPerfect(cat, cfg)
+		if err != nil {
+			return false
+		}
+		if res.Outcome != Success {
+			return true
+		}
+		if res.Final.NetProfit < -1e-6 {
+			return false
+		}
+		return res.Final.Payment >= cat.Bundles[res.Final.BundleID].Reserved.Base-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sessions are reproducible — identical seeds give identical
+// traces; and rounds never exceed the configured cap.
+func TestSessionDeterminismProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		cat, cfg := randomMarket(seed)
+		if cfg.Validate() != nil {
+			return true
+		}
+		a, err := RunPerfect(cat, cfg)
+		if err != nil {
+			return false
+		}
+		b, err := RunPerfect(cat, cfg)
+		if err != nil {
+			return false
+		}
+		if a.Outcome != b.Outcome || len(a.Rounds) != len(b.Rounds) {
+			return false
+		}
+		if len(a.Rounds) > cfg.MaxRounds {
+			return false
+		}
+		for i := range a.Rounds {
+			if a.Rounds[i] != b.Rounds[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the imperfect engine shares the payment-bound invariant and its
+// MSE traces are finite and non-negative.
+func TestImperfectSessionInvariantsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		cat, cfg := randomMarket(seed)
+		if cfg.Validate() != nil {
+			return true
+		}
+		cfg.MaxRounds = 150
+		res, err := RunImperfect(cat, ImperfectConfig{Session: cfg, ExplorationRounds: 30})
+		if err != nil {
+			return false
+		}
+		for _, r := range res.Rounds {
+			if r.Payment < r.Price.Base-1e-9 || r.Payment > r.Price.High+1e-9 {
+				return false
+			}
+		}
+		for i := range res.TaskMSE {
+			if res.TaskMSE[i] < 0 || res.DataMSE[i] < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/tensor"
+)
+
+// WriteCSV writes the dataset with a header row. Categorical cells are
+// written as their category names; the label column is written last as
+// "label".
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(d.Cols)+1)
+	for _, c := range d.Cols {
+		header = append(header, c.Name)
+	}
+	header = append(header, "label")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	rec := make([]string, len(header))
+	for i := 0; i < d.N(); i++ {
+		for j, c := range d.Cols {
+			v := d.Raw.At(i, j)
+			if c.Kind == Categorical {
+				rec[j] = c.Categories[int(v)]
+			} else {
+				rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		}
+		rec[len(d.Cols)] = strconv.Itoa(d.Y[i])
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset previously written by WriteCSV, using cols as the
+// schema (the header is validated against it).
+func ReadCSV(r io.Reader, name string, cols []Column) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	if len(header) != len(cols)+1 {
+		return nil, fmt.Errorf("dataset: header has %d columns, want %d", len(header), len(cols)+1)
+	}
+	for j, c := range cols {
+		if header[j] != c.Name {
+			return nil, fmt.Errorf("dataset: header column %d is %q, want %q", j, header[j], c.Name)
+		}
+	}
+	if header[len(cols)] != "label" {
+		return nil, fmt.Errorf("dataset: last header column is %q, want \"label\"", header[len(cols)])
+	}
+	catIndex := make([]map[string]int, len(cols))
+	for j, c := range cols {
+		if c.Kind != Categorical {
+			continue
+		}
+		catIndex[j] = make(map[string]int, len(c.Categories))
+		for k, name := range c.Categories {
+			catIndex[j][name] = k
+		}
+	}
+	var rows [][]float64
+	var labels []int
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		row := make([]float64, len(cols))
+		for j, c := range cols {
+			if c.Kind == Categorical {
+				idx, ok := catIndex[j][rec[j]]
+				if !ok {
+					return nil, fmt.Errorf("dataset: line %d: unknown category %q for %q", line, rec[j], c.Name)
+				}
+				row[j] = float64(idx)
+				continue
+			}
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d column %q: %w", line, c.Name, err)
+			}
+			row[j] = v
+		}
+		y, err := strconv.Atoi(rec[len(cols)])
+		if err != nil || (y != 0 && y != 1) {
+			return nil, fmt.Errorf("dataset: line %d: bad label %q", line, rec[len(cols)])
+		}
+		rows = append(rows, row)
+		labels = append(labels, y)
+	}
+	d := &Dataset{
+		Name: name,
+		Cols: append([]Column(nil), cols...),
+		Raw:  tensor.FromRows(rows),
+		Y:    labels,
+	}
+	if len(rows) == 0 {
+		d.Raw = tensor.NewMatrix(0, len(cols))
+	}
+	return d, nil
+}

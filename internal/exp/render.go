@@ -1,0 +1,206 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TextTable renders rows as an aligned plain-text table with a header.
+type TextTable struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row; cells beyond the header width are dropped, missing
+// cells become empty strings.
+func (t *TextTable) Add(cells ...string) {
+	row := make([]string, len(t.Header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the aligned table to w.
+func (t *TextTable) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the table as CSV.
+func (t *TextTable) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Cell formats a mean ± std cell the way the paper's tables print them.
+func Cell(c Table3Cell) string {
+	return fmt.Sprintf("%.3g±%.2g", c.Mean, c.Std)
+}
+
+// FormatTable2 renders Table 2.
+func FormatTable2(rows []Table2Row) *TextTable {
+	t := &TextTable{Header: []string{
+		"Datasets", "Titanic", "Credit", "Adult",
+	}}
+	get := func(f func(Table2Row) string) []string {
+		cells := make([]string, 0, len(rows))
+		for _, r := range rows {
+			cells = append(cells, f(r))
+		}
+		return cells
+	}
+	t.Add(append([]string{"# samples"}, get(func(r Table2Row) string { return fmt.Sprint(r.Stats.Samples) })...)...)
+	t.Add(append([]string{"original # features (total)"}, get(func(r Table2Row) string { return fmt.Sprint(r.Stats.OriginalFeatures) })...)...)
+	t.Add(append([]string{"preprocessed # features (task party)"}, get(func(r Table2Row) string { return fmt.Sprint(r.Stats.TaskPartyEncoded) })...)...)
+	t.Add(append([]string{"preprocessed # features (data party)"}, get(func(r Table2Row) string { return fmt.Sprint(r.Stats.DataPartyEncoded) })...)...)
+	return t
+}
+
+// FormatTable3 renders the Table 3 rows.
+func FormatTable3(t3 *Table3) *TextTable {
+	t := &TextTable{Header: []string{
+		"Dataset", "Epsilon", "Bargaining Cost", "Net Profit", "Payment", "Realized ΔG", "C(T)", "Success",
+	}}
+	for _, r := range t3.Rows {
+		cost := "-"
+		if r.Cost.Kind != 0 { // anything but NoCost reports C(T)
+			cost = Cell(r.CostAtFinal)
+		}
+		t.Add(
+			string(r.Dataset),
+			fmt.Sprintf("%.0e", r.Epsilon),
+			r.Cost.Label,
+			Cell(r.NetProfit),
+			Cell(r.Payment),
+			Cell(r.RealizedG),
+			cost,
+			fmt.Sprintf("%.0f%%", 100*r.SuccessRate),
+		)
+	}
+	return t
+}
+
+// FormatTable4 renders the Table 4 columns, one table row per measured
+// quantity pair (imperfect | perfect), grouped by model and dataset.
+func FormatTable4(t4 *Table4) *TextTable {
+	t := &TextTable{Header: []string{
+		"Model", "Dataset", "Setting", "p", "P0", "Ph", "Δp", "ΔP0", "ΔG", "Net Profit", "Payment", "Success",
+	}}
+	for _, c := range t4.Cols {
+		setting := "Perfect"
+		if c.Imperfect {
+			setting = "Imperfect"
+		}
+		t.Add(
+			c.Model.String(),
+			string(c.Dataset),
+			setting,
+			Cell(c.Rate), Cell(c.Base), Cell(c.High),
+			Cell(c.DRate), Cell(c.DBase), Cell(c.Gain),
+			Cell(c.NetProfit), Cell(c.Payment),
+			fmt.Sprintf("%.0f%%", 100*c.SuccessRate),
+		)
+	}
+	return t
+}
+
+// FormatFigureSeries renders one dataset's Figure 2/3 series as long-form
+// rows: strategy, round, metric, mean, ci_lo, ci_hi.
+func FormatFigureSeries(df DatasetFigure) *TextTable {
+	t := &TextTable{Header: []string{"strategy", "round", "metric", "mean", "ci_lo", "ci_hi"}}
+	add := func(label StrategyLabel, metric string, pts []RoundAgg) {
+		for _, p := range pts {
+			t.Add(string(label), fmt.Sprint(p.Round), metric,
+				fmt.Sprintf("%.6g", p.Mean), fmt.Sprintf("%.6g", p.CILo), fmt.Sprintf("%.6g", p.CIHi))
+		}
+	}
+	for _, s := range df.Strategies {
+		add(s.Label, "net_profit", s.NetProfit)
+		add(s.Label, "payment", s.Payment)
+		add(s.Label, "realized_gain", s.Gain)
+	}
+	return t
+}
+
+// FormatFigureDensities renders the final-quote density panels: strategy,
+// variable (p or P0), x, density, with the reserved-price reference.
+func FormatFigureDensities(df DatasetFigure) *TextTable {
+	t := &TextTable{Header: []string{"strategy", "variable", "x", "density"}}
+	for _, s := range df.Strategies {
+		for i := range s.RateDensity.X {
+			t.Add(string(s.Label), "p", fmt.Sprintf("%.5g", s.RateDensity.X[i]),
+				fmt.Sprintf("%.5g", s.RateDensity.Density[i]))
+		}
+		for i := range s.BaseDensity.X {
+			t.Add(string(s.Label), "P0", fmt.Sprintf("%.5g", s.BaseDensity.X[i]),
+				fmt.Sprintf("%.5g", s.BaseDensity.Density[i]))
+		}
+	}
+	t.Add("reserved", "p", fmt.Sprintf("%.5g", df.ReservedRate), "")
+	t.Add("reserved", "P0", fmt.Sprintf("%.5g", df.ReservedBase), "")
+	return t
+}
+
+// FormatFigure4 renders the estimator MSE curves in long form.
+func FormatFigure4(f4 *Figure4, smoothWindow int) *TextTable {
+	t := &TextTable{Header: []string{"model", "dataset", "party", "round", "mse"}}
+	for _, p := range f4.Panels {
+		for i, v := range SmoothMSE(p.TaskMSE, smoothWindow) {
+			t.Add(p.Model.String(), string(p.Dataset), "task", fmt.Sprint(i+1), fmt.Sprintf("%.6g", v))
+		}
+		for i, v := range SmoothMSE(p.DataMSE, smoothWindow) {
+			t.Add(p.Model.String(), string(p.Dataset), "data", fmt.Sprint(i+1), fmt.Sprintf("%.6g", v))
+		}
+	}
+	return t
+}

@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/vfl"
+)
+
+// SweepParam selects which market parameter a sensitivity sweep varies.
+type SweepParam int
+
+// Sweepable parameters.
+const (
+	// SweepEpsilon varies the termination tolerance εt = εd.
+	SweepEpsilon SweepParam = iota
+	// SweepPoolSize varies the task party's candidate-quote pool size
+	// (Algorithm 1 line 16 granularity).
+	SweepPoolSize
+	// SweepUtilityRate varies the task party's utility rate u.
+	SweepUtilityRate
+	// SweepCatalogSize varies the number of bundles on sale.
+	SweepCatalogSize
+)
+
+// String implements fmt.Stringer.
+func (p SweepParam) String() string {
+	switch p {
+	case SweepEpsilon:
+		return "epsilon"
+	case SweepPoolSize:
+		return "pool-size"
+	case SweepUtilityRate:
+		return "utility-rate"
+	case SweepCatalogSize:
+		return "catalog-size"
+	default:
+		return fmt.Sprintf("SweepParam(%d)", int(p))
+	}
+}
+
+// SweepPoint is one measured configuration of a sweep.
+type SweepPoint struct {
+	Value       float64
+	NetProfit   Table3Cell
+	Payment     Table3Cell
+	RealizedG   Table3Cell
+	Rounds      Table3Cell
+	SuccessRate float64
+}
+
+// Sweep is a full sensitivity study over one parameter.
+type Sweep struct {
+	Dataset dataset.Name
+	Param   SweepParam
+	Points  []SweepPoint
+}
+
+// RunSweep measures bargaining outcomes across values of one parameter,
+// holding everything else at the dataset profile's defaults. It extends the
+// paper's ε study (Table 3) to the other knobs the model exposes.
+func RunSweep(name dataset.Name, param SweepParam, values []float64, opts Options) (*Sweep, error) {
+	opts = opts.withDefaults()
+	if len(values) == 0 {
+		return nil, fmt.Errorf("exp: sweep needs at least one value")
+	}
+	out := &Sweep{Dataset: name, Param: param}
+	for _, v := range values {
+		p := DefaultProfile(name, vfl.RandomForest).Scaled(opts.Scale)
+		p.GainSource = opts.GainSource
+		if param == SweepCatalogSize {
+			p.CatalogSize = int(v)
+			if p.CatalogSize < 2 {
+				return nil, fmt.Errorf("exp: catalog size %v too small", v)
+			}
+		}
+		env, err := BuildEnv(p, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		point := SweepPoint{Value: v}
+		var nets, pays, gains, rounds []float64
+		successes := 0
+		for r := 0; r < opts.Runs; r++ {
+			cfg := env.Session
+			cfg.Seed = opts.Seed ^ (uint64(r)+1)*0x9e3779b97f4a7c15
+			switch param {
+			case SweepEpsilon:
+				cfg.EpsTask, cfg.EpsData = v, v
+			case SweepPoolSize:
+				cfg.PriceSamples = int(v)
+			case SweepUtilityRate:
+				cfg.U = v
+			}
+			if err := cfg.Validate(); err != nil {
+				return nil, fmt.Errorf("exp: sweep %s=%v: %w", param, v, err)
+			}
+			res, err := core.RunPerfect(env.Catalog, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if res.Outcome != core.Success {
+				continue
+			}
+			successes++
+			nets = append(nets, res.Final.NetProfit)
+			pays = append(pays, res.Final.Payment)
+			gains = append(gains, res.Final.Gain)
+			rounds = append(rounds, float64(len(res.Rounds)))
+		}
+		point.SuccessRate = float64(successes) / float64(opts.Runs)
+		point.NetProfit = summarizeCell(nets)
+		point.Payment = summarizeCell(pays)
+		point.RealizedG = summarizeCell(gains)
+		point.Rounds = summarizeCell(rounds)
+		out.Points = append(out.Points, point)
+	}
+	return out, nil
+}
+
+// FormatSweep renders a sweep as a text table.
+func FormatSweep(s *Sweep) *TextTable {
+	t := &TextTable{Header: []string{
+		string(s.Dataset) + " " + s.Param.String(),
+		"Net Profit", "Payment", "Realized ΔG", "Rounds", "Success",
+	}}
+	for _, p := range s.Points {
+		t.Add(
+			fmt.Sprintf("%g", p.Value),
+			Cell(p.NetProfit), Cell(p.Payment), Cell(p.RealizedG), Cell(p.Rounds),
+			fmt.Sprintf("%.0f%%", 100*p.SuccessRate),
+		)
+	}
+	return t
+}

@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestSweepParamString(t *testing.T) {
+	if SweepEpsilon.String() != "epsilon" || SweepPoolSize.String() != "pool-size" ||
+		SweepUtilityRate.String() != "utility-rate" || SweepCatalogSize.String() != "catalog-size" {
+		t.Fatal("SweepParam.String wrong")
+	}
+	if SweepParam(9).String() != "SweepParam(9)" {
+		t.Fatal("unknown SweepParam.String wrong")
+	}
+}
+
+func TestRunSweepEpsilon(t *testing.T) {
+	opts := fastOpts()
+	opts.Runs = 10
+	s, err := RunSweep(dataset.Titanic, SweepEpsilon, []float64{1e-4, 1e-2}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	// Looser ε must close at least as fast on average.
+	tight, loose := s.Points[0], s.Points[1]
+	if tight.SuccessRate > 0 && loose.SuccessRate > 0 &&
+		loose.Rounds.Mean > tight.Rounds.Mean+1 {
+		t.Fatalf("looser ε took more rounds: %v vs %v", loose.Rounds.Mean, tight.Rounds.Mean)
+	}
+}
+
+func TestRunSweepPoolSize(t *testing.T) {
+	opts := fastOpts()
+	opts.Runs = 8
+	s, err := RunSweep(dataset.Titanic, SweepPoolSize, []float64{40, 400}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, fine := s.Points[0], s.Points[1]
+	if coarse.SuccessRate == 0 || fine.SuccessRate == 0 {
+		t.Skip("sweep draws failed; dynamics checked elsewhere")
+	}
+	// Finer pools take more rounds but land at-or-below the coarse payment.
+	if fine.Rounds.Mean < coarse.Rounds.Mean {
+		t.Fatalf("finer pool closed faster: %v vs %v rounds", fine.Rounds.Mean, coarse.Rounds.Mean)
+	}
+}
+
+func TestRunSweepUtilityRate(t *testing.T) {
+	opts := fastOpts()
+	opts.Runs = 6
+	s, err := RunSweep(dataset.Titanic, SweepUtilityRate, []float64{500, 2000}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := s.Points[0], s.Points[1]
+	if lo.SuccessRate > 0 && hi.SuccessRate > 0 && hi.NetProfit.Mean <= lo.NetProfit.Mean {
+		t.Fatalf("higher u did not raise net profit: %v vs %v", hi.NetProfit.Mean, lo.NetProfit.Mean)
+	}
+}
+
+func TestRunSweepCatalogSize(t *testing.T) {
+	opts := fastOpts()
+	opts.Runs = 5
+	s, err := RunSweep(dataset.Titanic, SweepCatalogSize, []float64{10, 24}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Points {
+		if p.SuccessRate < 0 || p.SuccessRate > 1 {
+			t.Fatalf("bad success rate %v", p.SuccessRate)
+		}
+	}
+}
+
+func TestRunSweepErrors(t *testing.T) {
+	opts := fastOpts()
+	if _, err := RunSweep(dataset.Titanic, SweepEpsilon, nil, opts); err == nil {
+		t.Fatal("empty values accepted")
+	}
+	if _, err := RunSweep(dataset.Titanic, SweepCatalogSize, []float64{1}, opts); err == nil {
+		t.Fatal("degenerate catalog size accepted")
+	}
+	if _, err := RunSweep(dataset.Titanic, SweepUtilityRate, []float64{0.0001}, opts); err == nil {
+		t.Fatal("irrational utility rate accepted")
+	}
+}
+
+func TestFormatSweep(t *testing.T) {
+	opts := fastOpts()
+	opts.Runs = 4
+	s, err := RunSweep(dataset.Titanic, SweepEpsilon, []float64{1e-3}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := FormatSweep(s)
+	if len(tab.Rows) != 1 || len(tab.Header) != 6 {
+		t.Fatalf("table shape %dx%d", len(tab.Rows), len(tab.Header))
+	}
+}

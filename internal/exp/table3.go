@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/vfl"
+)
+
+// CostSetting is one row group of Table 3.
+type CostSetting struct {
+	Label  string
+	Kind   core.CostKind
+	Factor float64
+}
+
+// Table3CostGrid returns the cost settings of Table 3 in paper order.
+func Table3CostGrid() []CostSetting {
+	return []CostSetting{
+		{Label: "No cost", Kind: core.NoCost},
+		{Label: "C(T)=aT, a=0.1", Kind: core.LinearCost, Factor: 0.1},
+		{Label: "C(T)=aT, a=1", Kind: core.LinearCost, Factor: 1},
+		{Label: "C(T)=a^T, a=1.01", Kind: core.ExpCost, Factor: 1.01},
+		{Label: "C(T)=a^T, a=1.1", Kind: core.ExpCost, Factor: 1.1},
+	}
+}
+
+// table3Epsilons returns the two termination thresholds ε evaluated per
+// dataset in Table 3 (the first is the default).
+func table3Epsilons(name dataset.Name) [2]float64 {
+	switch name {
+	case dataset.Titanic:
+		return [2]float64{1e-3, 1e-2}
+	case dataset.Credit:
+		return [2]float64{1e-5, 1e-4}
+	default: // Adult
+		return [2]float64{1e-4, 5e-4}
+	}
+}
+
+// costScale returns the per-party scale of the shared cost function C(T):
+// the paper sets 10·C_t = 10·C_d = C(T) on Credit and Adult.
+func costScale(name dataset.Name) float64 {
+	if name == dataset.Titanic {
+		return 1
+	}
+	return 0.1
+}
+
+// Table3Cell is one measured cell: mean ± std over runs.
+type Table3Cell struct {
+	Mean, Std float64
+}
+
+// Table3Row is one (cost setting, ε) configuration's measurements.
+type Table3Row struct {
+	Dataset     dataset.Name
+	Cost        CostSetting
+	Epsilon     float64
+	NetProfit   Table3Cell // final net profit net of bargaining cost
+	Payment     Table3Cell // final payment net of bargaining cost
+	RealizedG   Table3Cell // realized ΔG
+	CostAtFinal Table3Cell // C(T) at the final round (unscaled, as reported)
+	SuccessRate float64
+}
+
+// Table3 is the full effect-of-bargaining-cost study.
+type Table3 struct {
+	Rows []Table3Row
+}
+
+// RunTable3 regenerates Table 3: the strategic bargaining under the cost
+// grid and both ε values per dataset, with the random-forest base model and
+// shared initial states across all runs (as in §4.3).
+func RunTable3(opts Options) (*Table3, error) {
+	opts = opts.withDefaults()
+	out := &Table3{}
+	for _, name := range opts.Datasets {
+		p := DefaultProfile(name, vfl.RandomForest).Scaled(opts.Scale)
+		p.GainSource = opts.GainSource
+		env, err := BuildEnv(p, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, eps := range table3Epsilons(name) {
+			for _, cs := range Table3CostGrid() {
+				row, err := runTable3Cell(env, name, cs, eps, opts)
+				if err != nil {
+					return nil, fmt.Errorf("exp: table3 %s %s: %w", name, cs.Label, err)
+				}
+				out.Rows = append(out.Rows, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+func runTable3Cell(env *Env, name dataset.Name, cs CostSetting, eps float64, opts Options) (Table3Row, error) {
+	row := Table3Row{Dataset: name, Cost: cs, Epsilon: eps}
+	model := core.CostModel{Kind: cs.Kind, Factor: cs.Factor, Scale: costScale(name)}
+	shared := core.CostModel{Kind: cs.Kind, Factor: cs.Factor} // unscaled C(T) for reporting
+	var nets, pays, gains, costs []float64
+	successes := 0
+	for r := 0; r < opts.Runs; r++ {
+		cfg := env.Session
+		cfg.EpsTask, cfg.EpsData = eps, eps
+		cfg.TaskCost, cfg.DataCost = model, model
+		cfg.Seed = opts.Seed ^ (uint64(r)+1)*0x9e3779b97f4a7c15
+		res, err := core.RunPerfect(env.Catalog, cfg)
+		if err != nil {
+			return row, err
+		}
+		if res.Outcome != core.Success {
+			continue
+		}
+		successes++
+		task, data := res.FinalNetRevenue()
+		nets = append(nets, task)
+		pays = append(pays, data)
+		gains = append(gains, res.Final.Gain)
+		costs = append(costs, shared.At(res.Final.Round))
+	}
+	row.SuccessRate = float64(successes) / float64(opts.Runs)
+	row.NetProfit = summarizeCell(nets)
+	row.Payment = summarizeCell(pays)
+	row.RealizedG = summarizeCell(gains)
+	row.CostAtFinal = summarizeCell(costs)
+	return row, nil
+}
+
+func summarizeCell(xs []float64) Table3Cell {
+	if len(xs) == 0 {
+		return Table3Cell{}
+	}
+	s := stats.Summarize(xs)
+	std := s.Std
+	if len(xs) == 1 {
+		std = 0
+	}
+	return Table3Cell{Mean: s.Mean, Std: std}
+}

@@ -1,0 +1,275 @@
+// Package nn is the from-scratch neural-network substrate: dense layers,
+// activations, an embedding table, losses, optimizers, and minibatch
+// trainers. It implements exactly what the paper needs — the 3-layer MLP VFL
+// base model (embedding dims 64 and 32) and the two performance-gain
+// estimators f (price → ΔG) and g (feature bundle → ΔG) — on per-sample
+// forward/backward passes, which is the right trade-off for the small tabular
+// models involved.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Activation is an element-wise non-linearity.
+type Activation int
+
+// Supported activations.
+const (
+	Identity Activation = iota
+	ReLU
+	Sigmoid
+	Tanh
+)
+
+// String implements fmt.Stringer.
+func (a Activation) String() string {
+	switch a {
+	case Identity:
+		return "identity"
+	case ReLU:
+		return "relu"
+	case Sigmoid:
+		return "sigmoid"
+	case Tanh:
+		return "tanh"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+func (a Activation) forward(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	case Tanh:
+		return math.Tanh(x)
+	default:
+		return x
+	}
+}
+
+// derivative in terms of the activation output y (cheaper for sigmoid/tanh).
+func (a Activation) derivFromOutput(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Sigmoid:
+		return y * (1 - y)
+	case Tanh:
+		return 1 - y*y
+	default:
+		return 1
+	}
+}
+
+// Param is a flat view of one parameter tensor and its gradient accumulator,
+// consumed by the optimizers.
+type Param struct {
+	W []float64
+	G []float64
+}
+
+// Dense is a fully connected layer y = act(Wx + b).
+type Dense struct {
+	In, Out int
+	Act     Activation
+	W       *tensor.Matrix // Out × In
+	B       tensor.Vector
+	dW      *tensor.Matrix
+	dB      tensor.Vector
+	lastX   tensor.Vector // cached input of the last Forward
+	lastY   tensor.Vector // cached activated output of the last Forward
+}
+
+// NewDense creates a dense layer with He-style initialisation (std
+// sqrt(2/in) for ReLU, sqrt(1/in) otherwise).
+func NewDense(in, out int, act Activation, src *rng.Source) *Dense {
+	d := &Dense{
+		In: in, Out: out, Act: act,
+		W:  tensor.NewMatrix(out, in),
+		B:  tensor.NewVector(out),
+		dW: tensor.NewMatrix(out, in),
+		dB: tensor.NewVector(out),
+	}
+	std := math.Sqrt(1 / float64(in))
+	if act == ReLU {
+		std = math.Sqrt(2 / float64(in))
+	}
+	d.W.RandInit(src, std)
+	return d
+}
+
+// Forward computes the layer output for one sample and caches the
+// intermediates needed by Backward.
+func (d *Dense) Forward(x tensor.Vector) tensor.Vector {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: Dense forward input %d, want %d", len(x), d.In))
+	}
+	y := d.W.MulVec(x)
+	for i := range y {
+		y[i] = d.Act.forward(y[i] + d.B[i])
+	}
+	d.lastX, d.lastY = x, y
+	return y
+}
+
+// Backward takes dL/dy for the last Forward, accumulates parameter gradients
+// and returns dL/dx.
+func (d *Dense) Backward(grad tensor.Vector) tensor.Vector {
+	if len(grad) != d.Out {
+		panic(fmt.Sprintf("nn: Dense backward grad %d, want %d", len(grad), d.Out))
+	}
+	// dL/dz where z = Wx + b.
+	dz := make(tensor.Vector, d.Out)
+	for i, g := range grad {
+		dz[i] = g * d.Act.derivFromOutput(d.lastY[i])
+	}
+	d.dW.AddOuter(1, dz, d.lastX)
+	d.dB.AddScaled(1, dz)
+	return d.W.MulVecT(dz)
+}
+
+// ZeroGrad clears the accumulated gradients.
+func (d *Dense) ZeroGrad() {
+	d.dW.Zero()
+	d.dB.Fill(0)
+}
+
+// Params exposes the layer parameters to an optimizer.
+func (d *Dense) Params() []Param {
+	return []Param{{W: d.W.Data, G: d.dW.Data}, {W: d.B, G: d.dB}}
+}
+
+// MLP is a stack of dense layers operating on one sample at a time.
+type MLP struct {
+	Layers []*Dense
+}
+
+// NewMLP builds an MLP with the given layer sizes (len >= 2), hidden
+// activation for all but the last layer, and outAct on the output layer.
+func NewMLP(sizes []int, hidden, outAct Activation, src *rng.Source) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		act := hidden
+		if i+2 == len(sizes) {
+			act = outAct
+		}
+		m.Layers = append(m.Layers, NewDense(sizes[i], sizes[i+1], act, src.Split(uint64(i))))
+	}
+	return m
+}
+
+// Forward runs the sample through all layers.
+func (m *MLP) Forward(x tensor.Vector) tensor.Vector {
+	for _, l := range m.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates dL/dy through all layers, accumulating gradients, and
+// returns dL/dx.
+func (m *MLP) Backward(grad tensor.Vector) tensor.Vector {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		grad = m.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// ZeroGrad clears all accumulated gradients.
+func (m *MLP) ZeroGrad() {
+	for _, l := range m.Layers {
+		l.ZeroGrad()
+	}
+}
+
+// Params exposes all layer parameters.
+func (m *MLP) Params() []Param {
+	var ps []Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// In returns the input width.
+func (m *MLP) In() int { return m.Layers[0].In }
+
+// Out returns the output width.
+func (m *MLP) Out() int { return m.Layers[len(m.Layers)-1].Out }
+
+// Embedding is a lookup table mapping discrete IDs to dense vectors. The
+// data party's bundle encoder embeds each feature in a bundle and averages
+// the embeddings — the Go equivalent of the paper's nn.Embedding + mean
+// pooling.
+type Embedding struct {
+	NumIDs, Dim int
+	Table       *tensor.Matrix // NumIDs × Dim
+	dTable      *tensor.Matrix
+	lastIDs     []int
+}
+
+// NewEmbedding creates an embedding table with Gaussian init.
+func NewEmbedding(numIDs, dim int, src *rng.Source) *Embedding {
+	e := &Embedding{
+		NumIDs: numIDs, Dim: dim,
+		Table:  tensor.NewMatrix(numIDs, dim),
+		dTable: tensor.NewMatrix(numIDs, dim),
+	}
+	e.Table.RandInit(src, 0.1)
+	return e
+}
+
+// ForwardMean returns the mean embedding of ids and caches them for
+// BackwardMean. It panics on an empty id set or out-of-range ids.
+func (e *Embedding) ForwardMean(ids []int) tensor.Vector {
+	if len(ids) == 0 {
+		panic("nn: Embedding.ForwardMean on empty id set")
+	}
+	out := tensor.NewVector(e.Dim)
+	for _, id := range ids {
+		if id < 0 || id >= e.NumIDs {
+			panic(fmt.Sprintf("nn: embedding id %d out of range [0,%d)", id, e.NumIDs))
+		}
+		out.AddScaled(1, e.Table.Row(id))
+	}
+	out.Scale(1 / float64(len(ids)))
+	e.lastIDs = ids
+	return out
+}
+
+// BackwardMean accumulates gradients for the last ForwardMean call.
+func (e *Embedding) BackwardMean(grad tensor.Vector) {
+	if len(grad) != e.Dim {
+		panic("nn: Embedding.BackwardMean grad size mismatch")
+	}
+	scale := 1 / float64(len(e.lastIDs))
+	for _, id := range e.lastIDs {
+		row := e.dTable.Row(id)
+		row.AddScaled(scale, grad)
+	}
+}
+
+// ZeroGrad clears accumulated gradients.
+func (e *Embedding) ZeroGrad() { e.dTable.Zero() }
+
+// Params exposes the table to an optimizer.
+func (e *Embedding) Params() []Param {
+	return []Param{{W: e.Table.Data, G: e.dTable.Data}}
+}

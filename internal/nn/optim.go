@@ -1,0 +1,116 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients. Step does
+// not clear gradients; callers ZeroGrad between minibatches.
+type Optimizer interface {
+	Step(params []Param)
+}
+
+// SGD is stochastic gradient descent with optional momentum and weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	velocity    map[*float64][]float64
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// Step applies one SGD update.
+func (s *SGD) Step(params []Param) {
+	if s.Momentum == 0 {
+		for _, p := range params {
+			for i := range p.W {
+				g := p.G[i] + s.WeightDecay*p.W[i]
+				p.W[i] -= s.LR * g
+			}
+		}
+		return
+	}
+	if s.velocity == nil {
+		s.velocity = make(map[*float64][]float64)
+	}
+	for _, p := range params {
+		key := &p.W[0]
+		v, ok := s.velocity[key]
+		if !ok {
+			v = make([]float64, len(p.W))
+			s.velocity[key] = v
+		}
+		for i := range p.W {
+			g := p.G[i] + s.WeightDecay*p.W[i]
+			v[i] = s.Momentum*v[i] - s.LR*g
+			p.W[i] += v[i]
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*float64][]float64
+}
+
+// NewAdam returns an Adam optimizer with standard defaults for the moment
+// coefficients.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one Adam update.
+func (a *Adam) Step(params []Param) {
+	if a.m == nil {
+		a.m = make(map[*float64][]float64)
+		a.v = make(map[*float64][]float64)
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		if len(p.W) == 0 {
+			continue
+		}
+		key := &p.W[0]
+		m, ok := a.m[key]
+		if !ok {
+			m = make([]float64, len(p.W))
+			a.m[key] = m
+			a.v[key] = make([]float64, len(p.W))
+		}
+		v := a.v[key]
+		for i := range p.W {
+			g := p.G[i]
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mHat := m[i] / c1
+			vHat := v[i] / c2
+			p.W[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+}
+
+// ClipGrads scales gradients down so their global L2 norm does not exceed
+// maxNorm; it returns the pre-clip norm. A non-positive maxNorm is a no-op.
+func ClipGrads(params []Param, maxNorm float64) float64 {
+	sum := 0.0
+	for _, p := range params {
+		for _, g := range p.G {
+			sum += g * g
+		}
+	}
+	norm := math.Sqrt(sum)
+	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
+		return norm
+	}
+	scale := maxNorm / norm
+	for _, p := range params {
+		for i := range p.G {
+			p.G[i] *= scale
+		}
+	}
+	return norm
+}

@@ -1,0 +1,180 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// BCEWithLogitsGrad returns the binary cross-entropy loss for a logit z and
+// binary label y, together with dL/dz. Computing the gradient in logit space
+// keeps training numerically stable.
+func BCEWithLogitsGrad(z float64, y int) (loss, grad float64) {
+	// loss = log(1 + exp(-z)) for y=1, log(1 + exp(z)) for y=0, in a
+	// softplus-stable form.
+	p := 1 / (1 + math.Exp(-z))
+	grad = p - float64(y)
+	if y == 1 {
+		loss = softplus(-z)
+	} else {
+		loss = softplus(z)
+	}
+	return loss, grad
+}
+
+func softplus(x float64) float64 {
+	if x > 30 {
+		return x
+	}
+	if x < -30 {
+		return 0
+	}
+	return math.Log1p(math.Exp(x))
+}
+
+// MSEGrad returns the squared-error loss for a prediction and target,
+// together with dL/dpred.
+func MSEGrad(pred, target float64) (loss, grad float64) {
+	d := pred - target
+	return d * d, 2 * d
+}
+
+// TrainConfig controls the minibatch trainers.
+type TrainConfig struct {
+	Hidden    []int   // hidden layer sizes; defaults to {64, 32} (paper)
+	LR        float64 // defaults to 1e-2 (paper)
+	Epochs    int     // defaults to 200 (paper's isolated-training budget)
+	BatchSize int     // defaults to 128
+	Seed      uint64
+	ClipNorm  float64 // 0 disables clipping
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Hidden == nil {
+		c.Hidden = []int{64, 32}
+	}
+	if c.LR == 0 {
+		c.LR = 1e-2
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 200
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 128
+	}
+	return c
+}
+
+// Classifier is a trained binary MLP classifier.
+type Classifier struct {
+	net *MLP
+}
+
+// TrainClassifier fits a binary MLP classifier on X (rows are samples) and
+// labels y using minibatch SGD on the BCE-with-logits loss.
+func TrainClassifier(X *tensor.Matrix, y []int, cfg TrainConfig) *Classifier {
+	cfg = cfg.withDefaults()
+	src := rng.New(cfg.Seed)
+	sizes := append(append([]int{X.Cols}, cfg.Hidden...), 1)
+	net := NewMLP(sizes, ReLU, Identity, src.Split(1))
+	opt := NewSGD(cfg.LR)
+	opt.Momentum = 0.9
+	shuffle := src.Split(2)
+	n := X.Rows
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := shuffle.Perm(n)
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			net.ZeroGrad()
+			for _, i := range perm[start:end] {
+				z := net.Forward(X.Row(i))
+				_, g := BCEWithLogitsGrad(z[0], y[i])
+				net.Backward(tensor.Vector{g / float64(end-start)})
+			}
+			if cfg.ClipNorm > 0 {
+				ClipGrads(net.Params(), cfg.ClipNorm)
+			}
+			opt.Step(net.Params())
+		}
+	}
+	return &Classifier{net: net}
+}
+
+// PredictProba returns P(y=1 | x).
+func (c *Classifier) PredictProba(x tensor.Vector) float64 {
+	z := c.net.Forward(x)
+	return 1 / (1 + math.Exp(-z[0]))
+}
+
+// Predict returns the class decision at threshold 0.5.
+func (c *Classifier) Predict(x tensor.Vector) int {
+	if c.PredictProba(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// PredictAll returns class decisions for every row of X.
+func (c *Classifier) PredictAll(X *tensor.Matrix) []int {
+	out := make([]int, X.Rows)
+	for i := range out {
+		out[i] = c.Predict(X.Row(i))
+	}
+	return out
+}
+
+// Regressor is a trained scalar-output MLP regressor, used by the
+// performance-gain estimators.
+type Regressor struct {
+	net *MLP
+	opt Optimizer
+}
+
+// NewRegressor builds an untrained MLP regressor with the given input width
+// and hidden sizes; it supports both batch fitting and the online updates the
+// imperfect-information bargaining strategies need.
+func NewRegressor(in int, hidden []int, lr float64, seed uint64) *Regressor {
+	sizes := append(append([]int{in}, hidden...), 1)
+	return &Regressor{
+		net: NewMLP(sizes, ReLU, Identity, rng.New(seed)),
+		opt: NewAdam(lr),
+	}
+}
+
+// Predict returns the regression output for x.
+func (r *Regressor) Predict(x tensor.Vector) float64 { return r.net.Forward(x)[0] }
+
+// Update performs one gradient step on a single (x, target) pair and returns
+// the pre-update squared error.
+func (r *Regressor) Update(x tensor.Vector, target float64) float64 {
+	r.net.ZeroGrad()
+	pred := r.net.Forward(x)
+	loss, g := MSEGrad(pred[0], target)
+	r.net.Backward(tensor.Vector{g})
+	ClipGrads(r.net.Params(), 5)
+	r.opt.Step(r.net.Params())
+	return loss
+}
+
+// UpdateBatch performs one gradient step on a batch and returns the mean
+// pre-update squared error. It panics on length mismatch or an empty batch.
+func (r *Regressor) UpdateBatch(xs []tensor.Vector, targets []float64) float64 {
+	if len(xs) != len(targets) || len(xs) == 0 {
+		panic("nn: UpdateBatch needs a non-empty batch with matching targets")
+	}
+	r.net.ZeroGrad()
+	total := 0.0
+	for i, x := range xs {
+		pred := r.net.Forward(x)
+		loss, g := MSEGrad(pred[0], targets[i])
+		total += loss
+		r.net.Backward(tensor.Vector{g / float64(len(xs))})
+	}
+	ClipGrads(r.net.Params(), 5)
+	r.opt.Step(r.net.Params())
+	return total / float64(len(xs))
+}

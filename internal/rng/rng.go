@@ -1,0 +1,160 @@
+// Package rng provides deterministic, seed-splittable random number streams
+// used by every stochastic component of the repository. Experiments split one
+// master seed into independent child streams (one per run, per party, per
+// model) so that results regenerate bit-identically regardless of goroutine
+// scheduling or evaluation order.
+package rng
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Source is a deterministic random stream. It wraps a PCG generator and adds
+// the distribution helpers the simulators need. Source is not safe for
+// concurrent use; split independent children instead of sharing one stream.
+type Source struct {
+	r *rand.Rand
+}
+
+// New returns a Source seeded from seed. Two Sources created with the same
+// seed produce identical streams.
+func New(seed uint64) *Source {
+	return &Source{r: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Split derives an independent child stream from s and the given label.
+// Splitting with different labels yields streams that are independent for all
+// practical purposes; splitting with the same label twice yields identical
+// streams (which is the point: a run can be reproduced piecewise).
+func (s *Source) Split(label uint64) *Source {
+	// Mix the label through splitmix64 so labels 0,1,2... land far apart.
+	z := label + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return &Source{r: rand.New(rand.NewPCG(s.r.Uint64()^z, z))}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// Uniform returns a uniform value in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 { return lo + (hi-lo)*s.r.Float64() }
+
+// Norm returns a standard normal variate.
+func (s *Source) Norm() float64 { return s.r.NormFloat64() }
+
+// Gauss returns a normal variate with the given mean and standard deviation.
+func (s *Source) Gauss(mean, std float64) float64 { return mean + std*s.r.NormFloat64() }
+
+// IntN returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) IntN(n int) int { return s.r.IntN(n) }
+
+// Uint64 returns a uniform 64-bit value.
+func (s *Source) Uint64() uint64 { return s.r.Uint64() }
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool { return s.r.Float64() < p }
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+
+// Choice returns a random index in [0, len(weights)) with probability
+// proportional to weights[i]. Non-positive weights are treated as zero; if all
+// weights are zero the choice is uniform.
+func (s *Source) Choice(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return s.IntN(len(weights))
+	}
+	x := s.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Sample returns k distinct indices drawn uniformly from [0, n) in random
+// order. It panics if k > n or k < 0.
+func (s *Source) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Sample requires 0 <= k <= n")
+	}
+	// Partial Fisher–Yates over an index array.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + s.IntN(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}
+
+// Exp returns an exponential variate with the given rate. It panics if
+// rate <= 0.
+func (s *Source) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp requires rate > 0")
+	}
+	return -math.Log(1-s.r.Float64()) / rate
+}
+
+// LogNormal returns exp(N(mu, sigma)).
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Gauss(mu, sigma))
+}
+
+// Beta returns a Beta(a, b) variate via the ratio-of-gammas method.
+// It panics if a <= 0 or b <= 0.
+func (s *Source) Beta(a, b float64) float64 {
+	x := s.Gamma(a)
+	y := s.Gamma(b)
+	return x / (x + y)
+}
+
+// Gamma returns a Gamma(shape, 1) variate using the Marsaglia–Tsang method.
+// It panics if shape <= 0.
+func (s *Source) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic("rng: Gamma requires shape > 0")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := s.r.Float64()
+		return s.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := s.Norm()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := s.r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package secure
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/big"
+)
+
+// GainScale is the fixed-point resolution for encoding performance gains
+// and payments: values are encoded as round(v · GainScale). 1e-6 precision
+// comfortably covers the paper's smallest tolerances (εd = 1e-5 on Credit).
+const GainScale = 1_000_000
+
+// EncodeFixed converts a (possibly negative) float into the field's
+// fixed-point representation: negatives map to n - |v|·scale, the usual
+// two's-complement-style embedding.
+func EncodeFixed(pk *PublicKey, v float64) (*big.Int, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil, fmt.Errorf("secure: cannot encode %v", v)
+	}
+	scaled := int64(math.Round(v * GainScale))
+	m := big.NewInt(scaled)
+	if scaled < 0 {
+		m.Add(m, pk.N)
+	}
+	return m, nil
+}
+
+// DecodeFixed inverts EncodeFixed, treating residues above n/2 as negative.
+func DecodeFixed(pk *PublicKey, m *big.Int) float64 {
+	half := new(big.Int).Rsh(pk.N, 1)
+	v := new(big.Int).Set(m)
+	if v.Cmp(half) > 0 {
+		v.Sub(v, pk.N)
+	}
+	f, _ := new(big.Float).SetInt(v).Float64()
+	return f / GainScale
+}
+
+// GainReport is the encrypted settlement message the task party sends after
+// a VFL course. Only the holder of the private key — the data party — can
+// decrypt the payment; the raw ΔG never crosses the boundary in clear.
+type GainReport struct {
+	// EncPayment encrypts the Eq. 2 payment under the data party's key,
+	// computed by the task party from its plaintext gain.
+	EncPayment *Ciphertext
+}
+
+// TaskReporter is the task party's side of the secure exchange: it holds
+// the data party's public key and the agreed quote.
+type TaskReporter struct {
+	pk   *PublicKey
+	rand io.Reader
+}
+
+// NewTaskReporter builds the task party's reporter under the data party's
+// public key.
+func NewTaskReporter(pk *PublicKey, random io.Reader) *TaskReporter {
+	return &TaskReporter{pk: pk, rand: random}
+}
+
+// Report encrypts the payment the realized gain implies under the quote
+// (p, P0, Ph): min{max{P0, P0 + p·ΔG}, Ph} (Eq. 2). The clamping happens on
+// the task party's plaintext side — it knows ΔG — and only the final
+// payment value is encrypted, so the data party learns exactly the payment
+// and nothing else about the gain beyond what the payment function already
+// reveals.
+func (t *TaskReporter) Report(rate, base, high, gain float64) (*GainReport, error) {
+	pay := base + rate*gain
+	if pay < base {
+		pay = base
+	}
+	if pay > high {
+		pay = high
+	}
+	m, err := EncodeFixed(t.pk, pay)
+	if err != nil {
+		return nil, err
+	}
+	ct, err := t.pk.Encrypt(t.rand, m)
+	if err != nil {
+		return nil, err
+	}
+	return &GainReport{EncPayment: ct}, nil
+}
+
+// ReportHomomorphic is the stronger variant for audited markets: the task
+// party submits Enc(ΔG) and the *data party* (or the third party) computes
+// Enc(P0 + p·ΔG) homomorphically, so the reported gain is bound to the
+// payment — the task party cannot report one gain to the auditor and pay
+// per another.
+func (t *TaskReporter) ReportHomomorphic(gain float64) (*Ciphertext, error) {
+	m, err := EncodeFixed(t.pk, gain)
+	if err != nil {
+		return nil, err
+	}
+	return t.pk.Encrypt(t.rand, m)
+}
+
+// DataReceiver is the data party's side: it owns the private key.
+type DataReceiver struct {
+	sk *PrivateKey
+}
+
+// NewDataReceiver wraps the data party's private key.
+func NewDataReceiver(sk *PrivateKey) *DataReceiver {
+	return &DataReceiver{sk: sk}
+}
+
+// PublicKey returns the key the task party should encrypt under.
+func (d *DataReceiver) PublicKey() *PublicKey { return &d.sk.PublicKey }
+
+// OpenPayment decrypts a payment report.
+func (d *DataReceiver) OpenPayment(r *GainReport) (float64, error) {
+	m, err := d.sk.Decrypt(r.EncPayment)
+	if err != nil {
+		return 0, err
+	}
+	return DecodeFixed(&d.sk.PublicKey, m), nil
+}
+
+// PaymentFromEncGain computes the unclamped payment P0 + p·ΔG from an
+// encrypted gain homomorphically and decrypts it. The linear form is exact
+// under Paillier; the [P0, Ph] clamp is applied on the decrypted value
+// (comparison under encryption needs SMC, which §3.6 cites as the extension
+// point — the linear part is what leaks ΔG and is what the encryption
+// protects during transport).
+func (d *DataReceiver) PaymentFromEncGain(encGain *Ciphertext, rate, base, high float64) (float64, error) {
+	pk := &d.sk.PublicKey
+	rateFixed := big.NewInt(int64(math.Round(rate * GainScale)))
+	// Enc(rate·gain) in scale²; add base in scale² too, decode twice.
+	scaled := pk.MulPlain(encGain, rateFixed)
+	baseFixed, err := EncodeFixed(pk, base*GainScale)
+	if err != nil {
+		return 0, err
+	}
+	total := pk.AddPlain(scaled, baseFixed)
+	m, err := d.sk.Decrypt(total)
+	if err != nil {
+		return 0, err
+	}
+	pay := DecodeFixed(pk, m) / GainScale
+	if pay < base {
+		pay = base
+	}
+	if pay > high {
+		pay = high
+	}
+	return pay, nil
+}

@@ -1,0 +1,160 @@
+// Package secure implements the cryptographic protections §3.6 of the paper
+// prescribes for the bargaining phase: the realized performance gain ΔG is
+// exchanged between the parties, so a party could run inference attacks on
+// it. The package provides the Paillier additively homomorphic cryptosystem
+// (the paper's reference [19]) over math/big, fixed-point encoding of gains,
+// and a secure gain-report protocol in which the data party learns its
+// payment without ever seeing the plaintext gain, and the task party never
+// reveals more than the payment itself.
+package secure
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+var one = big.NewInt(1)
+
+// PublicKey is a Paillier public key (n, g) with g = n + 1.
+type PublicKey struct {
+	N  *big.Int // modulus
+	N2 *big.Int // n²
+}
+
+// PrivateKey is a Paillier private key.
+type PrivateKey struct {
+	PublicKey
+	lambda *big.Int // lcm(p-1, q-1)
+	mu     *big.Int // (L(g^lambda mod n²))⁻¹ mod n
+}
+
+// GenerateKey creates a Paillier key pair with primes of the given bit size
+// (so the modulus has 2·bits). Bits must be at least 128; production use
+// would pick 1536+, tests use small keys for speed.
+func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
+	if bits < 128 {
+		return nil, fmt.Errorf("secure: key size %d too small (want >= 128 bits per prime)", bits)
+	}
+	for {
+		p, err := rand.Prime(random, bits)
+		if err != nil {
+			return nil, fmt.Errorf("secure: generating prime: %w", err)
+		}
+		q, err := rand.Prime(random, bits)
+		if err != nil {
+			return nil, fmt.Errorf("secure: generating prime: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+		lambda := new(big.Int).Div(new(big.Int).Mul(pm1, qm1), gcd)
+		n2 := new(big.Int).Mul(n, n)
+
+		// mu = (L(g^lambda mod n²))⁻¹ mod n with g = n+1:
+		// g^lambda mod n² = 1 + lambda·n (binomial), so L(..) = lambda mod n.
+		lmod := new(big.Int).Mod(lambda, n)
+		mu := new(big.Int).ModInverse(lmod, n)
+		if mu == nil {
+			continue // lambda not invertible mod n; re-draw primes
+		}
+		return &PrivateKey{
+			PublicKey: PublicKey{N: n, N2: n2},
+			lambda:    lambda,
+			mu:        mu,
+		}, nil
+	}
+}
+
+// Ciphertext is a Paillier ciphertext.
+type Ciphertext struct {
+	C *big.Int
+}
+
+// Encrypt encrypts m ∈ [0, n) under the public key: c = g^m · r^n mod n².
+func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int) (*Ciphertext, error) {
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, fmt.Errorf("secure: plaintext out of range [0, n)")
+	}
+	r, err := pk.randomUnit(random)
+	if err != nil {
+		return nil, err
+	}
+	// g^m = (n+1)^m = 1 + m·n (mod n²), a cheap closed form.
+	gm := new(big.Int).Mul(m, pk.N)
+	gm.Add(gm, one)
+	gm.Mod(gm, pk.N2)
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	c := gm.Mul(gm, rn)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}, nil
+}
+
+func (pk *PublicKey) randomUnit(random io.Reader) (*big.Int, error) {
+	for {
+		r, err := rand.Int(random, pk.N)
+		if err != nil {
+			return nil, fmt.Errorf("secure: sampling randomness: %w", err)
+		}
+		if r.Sign() == 0 {
+			continue
+		}
+		if new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+			return r, nil
+		}
+	}
+}
+
+// Decrypt recovers the plaintext: m = L(c^lambda mod n²) · mu mod n.
+func (sk *PrivateKey) Decrypt(ct *Ciphertext) (*big.Int, error) {
+	if ct == nil || ct.C == nil || ct.C.Sign() <= 0 || ct.C.Cmp(sk.N2) >= 0 {
+		return nil, errors.New("secure: ciphertext out of range")
+	}
+	u := new(big.Int).Exp(ct.C, sk.lambda, sk.N2)
+	// L(u) = (u - 1)/n
+	l := u.Sub(u, one)
+	l.Div(l, sk.N)
+	m := l.Mul(l, sk.mu)
+	m.Mod(m, sk.N)
+	return m, nil
+}
+
+// Add returns the ciphertext of m1 + m2 (mod n): c1·c2 mod n².
+func (pk *PublicKey) Add(a, b *Ciphertext) *Ciphertext {
+	c := new(big.Int).Mul(a.C, b.C)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}
+}
+
+// AddPlain returns the ciphertext of m + k (mod n).
+func (pk *PublicKey) AddPlain(a *Ciphertext, k *big.Int) *Ciphertext {
+	kk := new(big.Int).Mod(k, pk.N)
+	gm := new(big.Int).Mul(kk, pk.N)
+	gm.Add(gm, one)
+	gm.Mod(gm, pk.N2)
+	c := gm.Mul(gm, a.C)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}
+}
+
+// MulPlain returns the ciphertext of m·k (mod n): c^k mod n².
+func (pk *PublicKey) MulPlain(a *Ciphertext, k *big.Int) *Ciphertext {
+	kk := new(big.Int).Mod(k, pk.N)
+	return &Ciphertext{C: new(big.Int).Exp(a.C, kk, pk.N2)}
+}
+
+// Rerandomize multiplies the ciphertext by a fresh encryption of zero,
+// unlinking it from the original without changing the plaintext.
+func (pk *PublicKey) Rerandomize(random io.Reader, a *Ciphertext) (*Ciphertext, error) {
+	zero, err := pk.Encrypt(random, new(big.Int))
+	if err != nil {
+		return nil, err
+	}
+	return pk.Add(a, zero), nil
+}

@@ -1,0 +1,162 @@
+package vfl
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// TaskParty holds the label-owning side of a VFL course: its own feature
+// columns and the labels. It never sees the data party's matrix.
+type TaskParty struct {
+	X *tensor.Matrix
+	Y []int
+}
+
+// DataParty holds the feature-selling side: its columns only, no labels.
+type DataParty struct {
+	X *tensor.Matrix
+}
+
+// SplitMLP is the paper's DNN base model as an actual split-learning
+// protocol. Each party owns a bottom linear map into a shared hidden width
+// h1; the task party fuses the two partial pre-activations, applies ReLU,
+// and runs the top layers (h1 → h2 → 1). During training the only values
+// crossing the party boundary are the data party's h1-dimensional partial
+// activation (forward) and the task party's h1-dimensional gradient
+// (backward); Comm counts them.
+//
+// The fused first layer, ReLU, h2 layer and output form the 3-layer MLP with
+// embedding dimensions 64 and 32 described in §4.1.2.
+type SplitMLP struct {
+	taskBottom *nn.Dense // taskD → h1, identity (partial pre-activation)
+	dataBottom *nn.Dense // dataD → h1, identity; nil when no data party
+	top        *nn.MLP   // h1 → h2 → 1 (ReLU hidden, identity out)
+	cfg        Config
+	Comm       CommStats
+
+	lastFused tensor.Vector // ReLU output cached for backward
+}
+
+// NewSplitMLP constructs the split model. dataD may be zero for isolated
+// training (no data party).
+func NewSplitMLP(taskD, dataD int, cfg Config) *SplitMLP {
+	cfg = cfg.withDefaults()
+	src := rng.New(cfg.Seed)
+	m := &SplitMLP{
+		cfg:        cfg,
+		taskBottom: nn.NewDense(taskD, cfg.Hidden1, nn.Identity, src.Split(1)),
+		top:        nn.NewMLP([]int{cfg.Hidden1, cfg.Hidden2, 1}, nn.ReLU, nn.Identity, src.Split(2)),
+	}
+	if dataD > 0 {
+		m.dataBottom = nn.NewDense(dataD, cfg.Hidden1, nn.Identity, src.Split(3))
+	}
+	return m
+}
+
+// forward runs one sample through the split model. xd must be nil exactly
+// when the model was built without a data party.
+func (m *SplitMLP) forward(xt, xd tensor.Vector) tensor.Vector {
+	z := m.taskBottom.Forward(xt).Clone()
+	if m.dataBottom != nil {
+		// Data party computes its partial activation and sends h1 floats.
+		z.AddScaled(1, m.dataBottom.Forward(xd))
+	}
+	z.Map(func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	})
+	m.lastFused = z
+	return m.top.Forward(z)
+}
+
+// backward propagates the output gradient, accumulating gradients in both
+// parties' layers; the task party sends h1 gradient floats back.
+func (m *SplitMLP) backward(grad tensor.Vector) {
+	gz := m.top.Backward(grad)
+	for i := range gz {
+		if m.lastFused[i] <= 0 {
+			gz[i] = 0
+		}
+	}
+	m.taskBottom.Backward(gz)
+	if m.dataBottom != nil {
+		m.dataBottom.Backward(gz)
+	}
+}
+
+func (m *SplitMLP) zeroGrad() {
+	m.taskBottom.ZeroGrad()
+	m.top.ZeroGrad()
+	if m.dataBottom != nil {
+		m.dataBottom.ZeroGrad()
+	}
+}
+
+func (m *SplitMLP) params() []nn.Param {
+	ps := append(m.taskBottom.Params(), m.top.Params()...)
+	if m.dataBottom != nil {
+		ps = append(ps, m.dataBottom.Params()...)
+	}
+	return ps
+}
+
+// Train fits the split model with minibatch momentum SGD on BCE-with-logits.
+// data may be nil for isolated training.
+func (m *SplitMLP) Train(task *TaskParty, data *DataParty) {
+	if (data == nil) != (m.dataBottom == nil) {
+		panic("vfl: SplitMLP built for a different party configuration")
+	}
+	opt := nn.NewSGD(m.cfg.LR)
+	opt.Momentum = 0.9
+	shuffle := rng.New(m.cfg.Seed).Split(4)
+	n := task.X.Rows
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		perm := shuffle.Perm(n)
+		for start := 0; start < n; start += m.cfg.BatchSize {
+			end := start + m.cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			m.zeroGrad()
+			for _, i := range perm[start:end] {
+				var xd tensor.Vector
+				if data != nil {
+					xd = data.X.Row(i)
+				}
+				out := m.forward(task.X.Row(i), xd)
+				_, g := nn.BCEWithLogitsGrad(out[0], task.Y[i])
+				m.backward(tensor.Vector{g / float64(end-start)})
+				if data != nil {
+					// One activation up, one gradient down per sample.
+					m.Comm.FloatsExchange += 2 * m.cfg.Hidden1
+				}
+			}
+			nn.ClipGrads(m.params(), 5)
+			opt.Step(m.params())
+			if data != nil {
+				m.Comm.Rounds++
+			}
+		}
+	}
+}
+
+// PredictProba returns P(y=1) for one sample; xd is nil for isolated models.
+func (m *SplitMLP) PredictProba(xt, xd tensor.Vector) float64 {
+	z := m.forward(xt, xd)
+	return sigmoid(z[0])
+}
+
+func sigmoid(x float64) float64 {
+	// Stable logistic.
+	if x >= 0 {
+		e := math.Exp(-x)
+		return 1 / (1 + e)
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}

@@ -1,0 +1,322 @@
+// Package vfl simulates the two-party vertical federated learning substrate
+// the market trades over: a task party holding labels and its feature
+// columns, and a data party holding only feature columns over the same
+// aligned samples. It implements both base models of the paper — a split
+// 3-layer MLP (embedding dims 64 and 32) trained with real split-learning
+// message passing, and a jointly trained random forest — plus isolated
+// baseline training and the performance-gain evaluation
+// ΔG = (M - M0)/M0 of Eq. 1.
+//
+// Per §3.6 of the paper the market is FL-protocol-agnostic: only the scalar
+// performance gain of a VFL course crosses into the bargaining layer. The
+// random-forest trainer therefore materializes the joint feature matrix as a
+// simulation convenience (standing in for a SecureBoost-style protocol),
+// while the split MLP exchanges only activations and gradients and counts
+// the messages it sends.
+package vfl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/tree"
+)
+
+// BaseModel selects the model the two parties train in a VFL course.
+type BaseModel int
+
+// The two base models evaluated in the paper.
+const (
+	RandomForest BaseModel = iota
+	MLP
+)
+
+// String implements fmt.Stringer.
+func (m BaseModel) String() string {
+	switch m {
+	case RandomForest:
+		return "random-forest"
+	case MLP:
+		return "3-layer-mlp"
+	default:
+		return fmt.Sprintf("BaseModel(%d)", int(m))
+	}
+}
+
+// Problem is an encoded, vertically split dataset with a train/test split —
+// everything a VFL course needs.
+type Problem struct {
+	Split     *dataset.Split
+	TrainRows []int
+	TestRows  []int
+}
+
+// NewProblem prepares a problem from a generated dataset spec: encode,
+// vertical split, and a deterministic train/test row split.
+func NewProblem(spec *dataset.Spec, seed uint64, testFrac float64) *Problem {
+	_, split := spec.Split()
+	n := len(split.Y)
+	perm := rng.New(seed).Split(0x9999).Perm(n)
+	nTest := int(float64(n)*testFrac + 0.5)
+	return &Problem{
+		Split:     split,
+		TestRows:  perm[:nTest],
+		TrainRows: perm[nTest:],
+	}
+}
+
+// NumDataFeatures returns the number of data-party original features
+// (bundle-able units).
+func (p *Problem) NumDataFeatures() int { return len(p.Split.DataGroups) }
+
+// bundleCols maps data-party original-feature indices to encoded column
+// indices in the full matrix, keeping indicator groups intact.
+func (p *Problem) bundleCols(features []int) []int {
+	var cols []int
+	for _, f := range features {
+		if f < 0 || f >= len(p.Split.DataGroups) {
+			panic(fmt.Sprintf("vfl: data feature %d out of range [0,%d)", f, len(p.Split.DataGroups)))
+		}
+		for _, local := range p.Split.DataGroups[f] {
+			cols = append(cols, p.Split.DataCols[local])
+		}
+	}
+	return cols
+}
+
+// gatherRows copies the given columns of the given rows into a new matrix.
+func gatherRows(X *tensor.Matrix, rows, cols []int) *tensor.Matrix {
+	out := tensor.NewMatrix(len(rows), len(cols))
+	for i, r := range rows {
+		for j, c := range cols {
+			out.Set(i, j, X.At(r, c))
+		}
+	}
+	return out
+}
+
+func gatherLabels(y []int, rows []int) []int {
+	out := make([]int, len(rows))
+	for i, r := range rows {
+		out[i] = y[r]
+	}
+	return out
+}
+
+// Config controls training for both base models.
+type Config struct {
+	Model BaseModel
+	Seed  uint64
+
+	// Random-forest parameters.
+	Forest tree.ForestConfig
+
+	// Split-MLP parameters (defaults follow the paper: hidden 64/32,
+	// lr 1e-2).
+	Hidden1, Hidden2 int
+	LR               float64
+	Epochs           int
+	BatchSize        int
+
+	// Repeats averages every gain evaluation over this many independently
+	// seeded trainings (GainOracle only). Small relative gains — Credit's
+	// ΔG ≈ 0.5e-2 — need it to rise above single-run evaluation noise.
+	// <= 0 means 1.
+	Repeats int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hidden1 == 0 {
+		c.Hidden1 = 64
+	}
+	if c.Hidden2 == 0 {
+		c.Hidden2 = 32
+	}
+	if c.LR == 0 {
+		c.LR = 1e-2
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 40
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 128
+	}
+	return c
+}
+
+// Result is the outcome of one training course.
+type Result struct {
+	Accuracy float64
+	Comm     CommStats // only populated by the split MLP
+}
+
+// CommStats counts the split-learning traffic of a VFL course.
+type CommStats struct {
+	Rounds         int // optimizer steps requiring an exchange
+	FloatsExchange int // total float64 values exchanged between parties
+}
+
+// TrainIsolated trains the task party alone on its own columns and returns
+// test accuracy — the baseline M0 of Eq. 1.
+func (p *Problem) TrainIsolated(cfg Config) Result {
+	return p.train(cfg, p.Split.TaskCols, nil)
+}
+
+// TrainVFL runs a VFL course over the task party's columns joined with the
+// data-party bundle given as original-feature indices, returning test
+// accuracy M.
+func (p *Problem) TrainVFL(cfg Config, bundleFeatures []int) Result {
+	return p.train(cfg, p.Split.TaskCols, p.bundleCols(bundleFeatures))
+}
+
+func (p *Problem) train(cfg Config, taskCols, dataCols []int) Result {
+	cfg = cfg.withDefaults()
+	switch cfg.Model {
+	case RandomForest:
+		return p.trainForest(cfg, taskCols, dataCols)
+	case MLP:
+		return p.trainSplitMLP(cfg, taskCols, dataCols)
+	default:
+		panic("vfl: unknown base model")
+	}
+}
+
+func (p *Problem) trainForest(cfg Config, taskCols, dataCols []int) Result {
+	cols := append(append([]int(nil), taskCols...), dataCols...)
+	Xtr := gatherRows(p.Split.X, p.TrainRows, cols)
+	ytr := gatherLabels(p.Split.Y, p.TrainRows)
+	fcfg := cfg.Forest
+	fcfg.Seed = cfg.Seed
+	f := tree.TrainForest(Xtr, ytr, fcfg)
+	Xte := gatherRows(p.Split.X, p.TestRows, cols)
+	yte := gatherLabels(p.Split.Y, p.TestRows)
+	return Result{Accuracy: metrics.Accuracy(f.PredictAll(Xte), yte)}
+}
+
+func (p *Problem) trainSplitMLP(cfg Config, taskCols, dataCols []int) Result {
+	task := &TaskParty{
+		X: gatherRows(p.Split.X, p.TrainRows, taskCols),
+		Y: gatherLabels(p.Split.Y, p.TrainRows),
+	}
+	var data *DataParty
+	if len(dataCols) > 0 {
+		data = &DataParty{X: gatherRows(p.Split.X, p.TrainRows, dataCols)}
+	}
+	m := NewSplitMLP(len(taskCols), lenOrZero(dataCols), cfg)
+	m.Train(task, data)
+
+	XteTask := gatherRows(p.Split.X, p.TestRows, taskCols)
+	var XteData *tensor.Matrix
+	if len(dataCols) > 0 {
+		XteData = gatherRows(p.Split.X, p.TestRows, dataCols)
+	}
+	yte := gatherLabels(p.Split.Y, p.TestRows)
+	preds := make([]int, len(p.TestRows))
+	for i := range preds {
+		var xd tensor.Vector
+		if XteData != nil {
+			xd = XteData.Row(i)
+		}
+		if m.PredictProba(XteTask.Row(i), xd) >= 0.5 {
+			preds[i] = 1
+		}
+	}
+	return Result{Accuracy: metrics.Accuracy(preds, yte), Comm: m.Comm}
+}
+
+func lenOrZero(s []int) int { return len(s) }
+
+// Gain runs the full Eq. 1 evaluation for a bundle: isolated baseline,
+// VFL course, relative improvement.
+func (p *Problem) Gain(cfg Config, bundleFeatures []int) float64 {
+	m0 := p.TrainIsolated(cfg).Accuracy
+	m := p.TrainVFL(cfg, bundleFeatures).Accuracy
+	return metrics.PerformanceGain(m, m0)
+}
+
+// BundleKey canonicalizes a bundle (set of data-party original-feature
+// indices) into a map key: sorted, comma-joined.
+func BundleKey(features []int) string {
+	s := append([]int(nil), features...)
+	sort.Ints(s)
+	var b strings.Builder
+	for i, f := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", f)
+	}
+	return b.String()
+}
+
+// GainOracle memoizes per-bundle performance gains. It plays the role of the
+// paper's trustworthy third party: both market participants can query the
+// gain of a bundle without touching the other side's raw features, and each
+// distinct bundle is trained at most once.
+type GainOracle struct {
+	Problem  *Problem
+	Config   Config
+	baseline float64
+	hasBase  bool
+	cache    map[string]float64
+	// Trainings counts actual (non-cached) VFL courses, for the ablation
+	// bench quantifying what caching saves.
+	Trainings int
+}
+
+// NewGainOracle builds an oracle over a problem and training config.
+func NewGainOracle(p *Problem, cfg Config) *GainOracle {
+	return &GainOracle{Problem: p, Config: cfg, cache: make(map[string]float64)}
+}
+
+// repeats returns the configured evaluation-averaging count (at least 1).
+func (o *GainOracle) repeats() int {
+	if o.Config.Repeats <= 0 {
+		return 1
+	}
+	return o.Config.Repeats
+}
+
+// Baseline returns the isolated-training accuracy M0 (averaged over the
+// configured repeats), training it on first use.
+func (o *GainOracle) Baseline() float64 {
+	if !o.hasBase {
+		sum := 0.0
+		for i := 0; i < o.repeats(); i++ {
+			cfg := o.Config
+			cfg.Seed = o.Config.Seed + uint64(i)*101
+			sum += o.Problem.TrainIsolated(cfg).Accuracy
+			o.Trainings++
+		}
+		o.baseline = sum / float64(o.repeats())
+		o.hasBase = true
+	}
+	return o.baseline
+}
+
+// Gain returns ΔG for the bundle (averaged over the configured repeats),
+// training the VFL courses only on a cache miss.
+func (o *GainOracle) Gain(features []int) float64 {
+	key := BundleKey(features)
+	if g, ok := o.cache[key]; ok {
+		return g
+	}
+	sum := 0.0
+	for i := 0; i < o.repeats(); i++ {
+		cfg := o.Config
+		cfg.Seed = o.Config.Seed + uint64(i)*101
+		sum += o.Problem.TrainVFL(cfg, features).Accuracy
+		o.Trainings++
+	}
+	g := metrics.PerformanceGain(sum/float64(o.repeats()), o.Baseline())
+	o.cache[key] = g
+	return g
+}
+
+// CacheSize returns the number of memoized bundles.
+func (o *GainOracle) CacheSize() int { return len(o.cache) }

@@ -1,0 +1,266 @@
+package vfl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/tree"
+)
+
+// smallProblem builds a quick Titanic problem for tests.
+func smallProblem(t testing.TB, n int) *Problem {
+	t.Helper()
+	spec := dataset.Generate(dataset.Titanic, 11, n)
+	return NewProblem(spec, 7, 0.3)
+}
+
+func fastRF() Config {
+	return Config{
+		Model:  RandomForest,
+		Seed:   3,
+		Forest: tree.ForestConfig{NumTrees: 8, MaxDepth: 6},
+	}
+}
+
+func fastMLP() Config {
+	return Config{
+		Model: MLP, Seed: 3,
+		Hidden1: 16, Hidden2: 8, Epochs: 15, BatchSize: 64, LR: 0.05,
+	}
+}
+
+func TestBaseModelString(t *testing.T) {
+	if RandomForest.String() != "random-forest" || MLP.String() != "3-layer-mlp" {
+		t.Fatal("BaseModel.String wrong")
+	}
+	if BaseModel(7).String() != "BaseModel(7)" {
+		t.Fatal("unknown BaseModel.String wrong")
+	}
+}
+
+func TestNewProblemSplitsRows(t *testing.T) {
+	p := smallProblem(t, 200)
+	if len(p.TestRows) != 60 || len(p.TrainRows) != 140 {
+		t.Fatalf("row split = %d/%d", len(p.TrainRows), len(p.TestRows))
+	}
+	seen := make(map[int]bool)
+	for _, r := range append(append([]int(nil), p.TrainRows...), p.TestRows...) {
+		if seen[r] {
+			t.Fatalf("row %d appears twice", r)
+		}
+		seen[r] = true
+	}
+	if len(seen) != 200 {
+		t.Fatalf("rows cover %d samples", len(seen))
+	}
+}
+
+func TestNumDataFeatures(t *testing.T) {
+	p := smallProblem(t, 100)
+	// Titanic data party has 4 original features (Embarked, Title, Deck,
+	// CabinShared).
+	if got := p.NumDataFeatures(); got != 4 {
+		t.Fatalf("NumDataFeatures = %d", got)
+	}
+}
+
+func TestBundleColsKeepGroups(t *testing.T) {
+	p := smallProblem(t, 100)
+	cols := p.bundleCols([]int{1}) // Title: 5 indicator columns
+	if len(cols) != 5 {
+		t.Fatalf("Title bundle expands to %d cols, want 5", len(cols))
+	}
+}
+
+func TestBundleColsPanicsOutOfRange(t *testing.T) {
+	p := smallProblem(t, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.bundleCols([]int{99})
+}
+
+func TestIsolatedForestBeatsChance(t *testing.T) {
+	p := smallProblem(t, 500)
+	res := p.TrainIsolated(fastRF())
+	if res.Accuracy < 0.6 {
+		t.Fatalf("isolated RF accuracy = %v", res.Accuracy)
+	}
+}
+
+func TestVFLForestGainPositiveWithAllFeatures(t *testing.T) {
+	p := smallProblem(t, 891)
+	cfg := Config{
+		Model:  RandomForest,
+		Seed:   3,
+		Forest: tree.ForestConfig{NumTrees: 12, MaxDepth: 8},
+		// Average out single-run evaluation noise like the experiment
+		// harness does.
+		Repeats: 2,
+	}
+	o := NewGainOracle(p, cfg)
+	g := o.Gain([]int{0, 1, 2, 3})
+	if g <= 0 {
+		t.Fatalf("full-bundle gain = %v, want > 0 (Titanic data features are informative)", g)
+	}
+	if g > 1 {
+		t.Fatalf("implausible gain %v", g)
+	}
+}
+
+func TestIsolatedMLPBeatsChance(t *testing.T) {
+	p := smallProblem(t, 400)
+	res := p.TrainIsolated(fastMLP())
+	if res.Accuracy < 0.6 {
+		t.Fatalf("isolated MLP accuracy = %v", res.Accuracy)
+	}
+	if res.Comm.Rounds != 0 || res.Comm.FloatsExchange != 0 {
+		t.Fatalf("isolated training should have no communication: %+v", res.Comm)
+	}
+}
+
+func TestVFLMLPCommunicationCounted(t *testing.T) {
+	p := smallProblem(t, 200)
+	cfg := fastMLP()
+	res := p.TrainVFL(cfg, []int{1, 2})
+	if res.Comm.Rounds == 0 || res.Comm.FloatsExchange == 0 {
+		t.Fatalf("VFL training should exchange messages: %+v", res.Comm)
+	}
+	// Exactly 2*h1 floats per training sample visit.
+	wantFloats := 2 * 16 * len(p.TrainRows) * cfg.Epochs
+	if res.Comm.FloatsExchange != wantFloats {
+		t.Fatalf("FloatsExchange = %d, want %d", res.Comm.FloatsExchange, wantFloats)
+	}
+}
+
+func TestVFLMLPGainReasonable(t *testing.T) {
+	p := smallProblem(t, 500)
+	g := p.Gain(fastMLP(), []int{0, 1, 2, 3})
+	if math.IsNaN(g) || g < -0.5 || g > 1 {
+		t.Fatalf("MLP gain = %v", g)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	p := smallProblem(t, 300)
+	cfg := fastRF()
+	a := p.TrainVFL(cfg, []int{1})
+	b := p.TrainVFL(cfg, []int{1})
+	if a.Accuracy != b.Accuracy {
+		t.Fatalf("RF training not deterministic: %v vs %v", a.Accuracy, b.Accuracy)
+	}
+	cfgM := fastMLP()
+	c := p.TrainVFL(cfgM, []int{1})
+	d := p.TrainVFL(cfgM, []int{1})
+	if c.Accuracy != d.Accuracy {
+		t.Fatalf("MLP training not deterministic: %v vs %v", c.Accuracy, d.Accuracy)
+	}
+}
+
+func TestBundleKeyCanonical(t *testing.T) {
+	if BundleKey([]int{3, 1, 2}) != "1,2,3" {
+		t.Fatalf("BundleKey = %q", BundleKey([]int{3, 1, 2}))
+	}
+	if BundleKey([]int{1, 2, 3}) != BundleKey([]int{3, 2, 1}) {
+		t.Fatal("BundleKey not order-invariant")
+	}
+	if BundleKey(nil) != "" {
+		t.Fatalf("empty BundleKey = %q", BundleKey(nil))
+	}
+	// BundleKey must not mutate its argument.
+	in := []int{3, 1}
+	BundleKey(in)
+	if in[0] != 3 {
+		t.Fatal("BundleKey mutated input")
+	}
+}
+
+func TestGainOracleCaches(t *testing.T) {
+	p := smallProblem(t, 300)
+	o := NewGainOracle(p, fastRF())
+	g1 := o.Gain([]int{1, 2})
+	trainings := o.Trainings
+	g2 := o.Gain([]int{2, 1}) // same bundle, different order
+	if g1 != g2 {
+		t.Fatalf("cached gain differs: %v vs %v", g1, g2)
+	}
+	if o.Trainings != trainings {
+		t.Fatal("cache miss on identical bundle")
+	}
+	if o.CacheSize() != 1 {
+		t.Fatalf("cache size = %d", o.CacheSize())
+	}
+	o.Gain([]int{0})
+	if o.CacheSize() != 2 {
+		t.Fatalf("cache size = %d after second bundle", o.CacheSize())
+	}
+}
+
+func TestGainOracleBaselineTrainedOnce(t *testing.T) {
+	p := smallProblem(t, 300)
+	o := NewGainOracle(p, fastRF())
+	b1 := o.Baseline()
+	n := o.Trainings
+	b2 := o.Baseline()
+	if b1 != b2 || o.Trainings != n {
+		t.Fatal("baseline retrained")
+	}
+}
+
+// The split MLP with a data party must behave identically to a joint MLP in
+// the sense that more informative features produce at-least-comparable
+// accuracy; here we just assert VFL accuracy is not catastrophically below
+// isolated (it can dip slightly from extra parameters/noise).
+func TestSplitMLPNotCatastrophic(t *testing.T) {
+	p := smallProblem(t, 400)
+	cfg := fastMLP()
+	iso := p.TrainIsolated(cfg).Accuracy
+	vfl := p.TrainVFL(cfg, []int{0, 1, 2, 3}).Accuracy
+	if vfl < iso-0.15 {
+		t.Fatalf("VFL accuracy %v far below isolated %v", vfl, iso)
+	}
+}
+
+func TestSplitMLPPanicsOnPartyMismatch(t *testing.T) {
+	m := NewSplitMLP(3, 0, Config{Model: MLP, Hidden1: 4, Hidden2: 2, Epochs: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Train(&TaskParty{}, &DataParty{})
+}
+
+func TestSigmoidStable(t *testing.T) {
+	if s := sigmoid(1000); s != 1 {
+		t.Fatalf("sigmoid(1000) = %v", s)
+	}
+	if s := sigmoid(-1000); s != 0 {
+		t.Fatalf("sigmoid(-1000) = %v", s)
+	}
+	if s := sigmoid(0); math.Abs(s-0.5) > 1e-12 {
+		t.Fatalf("sigmoid(0) = %v", s)
+	}
+}
+
+func BenchmarkGainRF(b *testing.B) {
+	p := smallProblem(b, 400)
+	cfg := fastRF()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Gain(cfg, []int{1, 2})
+	}
+}
+
+func BenchmarkGainOracleCached(b *testing.B) {
+	p := smallProblem(b, 400)
+	o := NewGainOracle(p, fastRF())
+	o.Gain([]int{1, 2}) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.Gain([]int{1, 2})
+	}
+}

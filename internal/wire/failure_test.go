@@ -1,0 +1,174 @@
+package wire
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// Failure injection: the protocol endpoints must fail cleanly — returning
+// errors, never hanging or panicking — when the peer disappears or
+// misbehaves mid-session.
+
+func TestServerSurvivesClientDisconnectAfterHello(t *testing.T) {
+	cat, cfg, _ := buildMarket(t, 41)
+	srv, err := NewDataServer(cat, cfg.EpsData, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientConn, serverConn := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() {
+		defer serverConn.Close()
+		_, err := srv.ServeConn(serverConn)
+		errCh <- err
+	}()
+	c := newCodec(clientConn)
+	if _, err := c.recv(KindHello); err != nil {
+		t.Fatal(err)
+	}
+	clientConn.Close() // vanish before quoting
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("server treated a dropped client as a clean session")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server hung on client disconnect")
+	}
+}
+
+func TestServerSurvivesClientDisconnectMidRound(t *testing.T) {
+	cat, cfg, _ := buildMarket(t, 43)
+	srv, err := NewDataServer(cat, cfg.EpsData, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientConn, serverConn := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() {
+		defer serverConn.Close()
+		_, err := srv.ServeConn(serverConn)
+		errCh <- err
+	}()
+	c := newCodec(clientConn)
+	if _, err := c.recv(KindHello); err != nil {
+		t.Fatal(err)
+	}
+	// Quote, take the offer, then vanish before settling.
+	if err := c.send(&Envelope{Kind: KindQuote, Quote: &Quote{Rate: 10, Base: 2, High: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.recv(KindOffer); err != nil {
+		t.Fatal(err)
+	}
+	clientConn.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("server treated a mid-round drop as clean")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server hung on mid-round disconnect")
+	}
+}
+
+func TestClientSurvivesServerDisconnect(t *testing.T) {
+	cat, cfg, gains := buildMarket(t, 47)
+	_ = cat
+	clientConn, serverConn := net.Pipe()
+	go func() {
+		// A "server" that sends Hello and dies.
+		c := newCodec(serverConn)
+		c.send(&Envelope{Kind: KindHello, Hello: &Hello{}}) //nolint:errcheck
+		serverConn.Close()
+	}()
+	client := &TaskClient{Session: cfg, Gains: gains}
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Bargain(clientConn)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("client treated a dead server as a clean session")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client hung on server disconnect")
+	}
+	clientConn.Close()
+}
+
+func TestClientRejectsMalformedHello(t *testing.T) {
+	_, cfg, gains := buildMarket(t, 53)
+	clientConn, serverConn := net.Pipe()
+	go func() {
+		c := newCodec(serverConn)
+		// Wrong kind first.
+		c.send(&Envelope{Kind: KindOffer, Offer: &Offer{}}) //nolint:errcheck
+		serverConn.Close()
+	}()
+	client := &TaskClient{Session: cfg, Gains: gains}
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Bargain(clientConn)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("client accepted a non-Hello opener")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client hung on malformed hello")
+	}
+	clientConn.Close()
+}
+
+func TestServerRoundCapEndsRunawaySession(t *testing.T) {
+	cat, cfg, _ := buildMarket(t, 59)
+	srv, err := NewDataServer(cat, cfg.EpsData, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.MaxRounds = 3
+	clientConn, serverConn := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() {
+		defer serverConn.Close()
+		_, err := srv.ServeConn(serverConn)
+		errCh <- err
+	}()
+	c := newCodec(clientConn)
+	if _, err := c.recv(KindHello); err != nil {
+		t.Fatal(err)
+	}
+	// A client that quotes forever without ever accepting.
+	for i := 0; i < 4; i++ {
+		if err := c.send(&Envelope{Kind: KindQuote,
+			Quote: &Quote{Rate: 10, Base: 2, High: 4 + float64(i)*0.01}}); err != nil {
+			break // server already gave up — also acceptable
+		}
+		oe, err := c.recv(KindOffer)
+		if err != nil {
+			break
+		}
+		if oe.Offer.Fail {
+			t.Fatal("unexpected Case 1")
+		}
+		if err := c.send(&Envelope{Kind: KindSettle,
+			Settle: &Settle{Gain: 0.01, Decision: DecisionContinue}}); err != nil {
+			break
+		}
+	}
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("server allowed a runaway session past its round cap")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server hung past its round cap")
+	}
+	clientConn.Close()
+}

@@ -1,0 +1,400 @@
+// Package wire runs the bargaining market as an actual two-endpoint network
+// protocol: the data party serves its catalog behind a listener, the task
+// party connects and drives the negotiation. It is the deployment shape the
+// paper's production setting implies — two organisations, one connection —
+// with the same strategies and termination cases as the in-process engine,
+// plus the §3.6 option of settling payments under Paillier encryption so
+// the realized ΔG never crosses the wire in clear.
+//
+// Protocol (gob-encoded envelopes over one connection):
+//
+//	server → client  Hello{bundle listing, optional public key}
+//	loop:
+//	  client → server  Quote{p, P0, Ph}
+//	  server → client  Offer{bundle} | Offer{Fail}      (Cases 1–3)
+//	  client → server  Settle{ΔG or Enc(payment), decision}  (Cases 4–6)
+package wire
+
+import (
+	"crypto/rand"
+	"encoding/gob"
+	"fmt"
+	"math/big"
+	"net"
+
+	"repro/internal/core"
+	"repro/internal/secure"
+)
+
+// Kind discriminates protocol envelopes.
+type Kind int
+
+// Protocol message kinds.
+const (
+	KindHello Kind = iota + 1
+	KindQuote
+	KindOffer
+	KindSettle
+)
+
+// BundleInfo is the public listing entry of one bundle: its identity and
+// feature composition, never the reserved price or the data itself.
+type BundleInfo struct {
+	ID       int
+	Features []int
+}
+
+// Hello opens a session: the data party publishes its listing and, when the
+// session settles securely, its Paillier public key.
+type Hello struct {
+	Bundles []BundleInfo
+	Secure  bool
+	PubN    []byte // Paillier modulus when Secure
+}
+
+// Quote is the task party's round offer. U is the task party's utility
+// rate, which §3.3 of the paper assumes is mutually known; the data party
+// needs it for its Case 4-aware offer filter.
+type Quote struct {
+	Round            int
+	Rate, Base, High float64
+	U                float64
+}
+
+// Offer is the data party's response.
+type Offer struct {
+	BundleID int
+	Features []int
+	// Accept is the data party's Case 2 close: it commits to this bundle at
+	// the quoted price.
+	Accept bool
+	// Fail is the Case 1 walkout: nothing satisfies the quote.
+	Fail   bool
+	Reason string
+}
+
+// Decision is the task party's settlement verdict.
+type Decision int
+
+// Task-party settlement decisions.
+const (
+	DecisionContinue Decision = iota // Case 6: escalate next round
+	DecisionAccept                   // Case 5: pay and close
+	DecisionFail                     // Case 4: walk away
+)
+
+// Settle reports the VFL course's outcome back to the data party. In clear
+// mode it carries the realized ΔG; in secure mode only the encrypted Eq. 2
+// payment.
+type Settle struct {
+	Round      int
+	Decision   Decision
+	Gain       float64 // clear mode only
+	EncPayment []byte  // secure mode: Paillier ciphertext of the payment
+}
+
+// Envelope is the single wire frame.
+type Envelope struct {
+	Kind   Kind
+	Hello  *Hello
+	Quote  *Quote
+	Offer  *Offer
+	Settle *Settle
+}
+
+type codec struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func newCodec(conn net.Conn) *codec {
+	return &codec{enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+func (c *codec) send(e *Envelope) error {
+	if err := c.enc.Encode(e); err != nil {
+		return fmt.Errorf("wire: send %v: %w", e.Kind, err)
+	}
+	return nil
+}
+
+func (c *codec) recv(want Kind) (*Envelope, error) {
+	var e Envelope
+	if err := c.dec.Decode(&e); err != nil {
+		return nil, fmt.Errorf("wire: recv: %w", err)
+	}
+	if e.Kind != want {
+		return nil, fmt.Errorf("wire: got message kind %v, want %v", e.Kind, want)
+	}
+	return &e, nil
+}
+
+// DataServer is the data party endpoint: it owns the catalog (with the
+// third-party pre-computed gains) and answers quotes with the strategic
+// bundle policy and termination Cases 1–3.
+type DataServer struct {
+	Catalog *core.Catalog
+	// EpsData is εd of Case 2.
+	EpsData float64
+	// Secure enables Paillier settlement: the server generates a key pair
+	// per construction and publishes the public key in Hello.
+	Secure bool
+	// MaxRounds guards against runaway clients. <= 0 means 1000.
+	MaxRounds int
+
+	priv *secure.PrivateKey
+}
+
+// NewDataServer builds a server over the catalog. keyBits sizes the
+// Paillier primes when secureMode is on (256 is fine for tests and demos).
+func NewDataServer(cat *core.Catalog, epsData float64, secureMode bool, keyBits int) (*DataServer, error) {
+	s := &DataServer{Catalog: cat, EpsData: epsData, Secure: secureMode}
+	if secureMode {
+		priv, err := secure.GenerateKey(rand.Reader, keyBits)
+		if err != nil {
+			return nil, err
+		}
+		s.priv = priv
+	}
+	return s, nil
+}
+
+// SessionSummary is what the server records about one completed session.
+type SessionSummary struct {
+	Rounds   int
+	Closed   bool // true when the transaction succeeded
+	BundleID int
+	Payment  float64 // the settled payment (decrypted in secure mode)
+}
+
+// ServeConn runs one bargaining session over the connection and returns its
+// summary. The caller owns the connection lifecycle.
+func (s *DataServer) ServeConn(conn net.Conn) (*SessionSummary, error) {
+	c := newCodec(conn)
+	maxRounds := s.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 1000
+	}
+
+	hello := &Hello{Secure: s.Secure}
+	for _, b := range s.Catalog.Bundles {
+		hello.Bundles = append(hello.Bundles, BundleInfo{ID: b.ID, Features: b.Features})
+	}
+	if s.Secure {
+		hello.PubN = s.priv.N.Bytes()
+	}
+	if err := c.send(&Envelope{Kind: KindHello, Hello: hello}); err != nil {
+		return nil, err
+	}
+
+	sum := &SessionSummary{}
+	for round := 1; round <= maxRounds; round++ {
+		e, err := c.recv(KindQuote)
+		if err != nil {
+			return sum, err
+		}
+		q := core.QuotedPrice{Rate: e.Quote.Rate, Base: e.Quote.Base, High: e.Quote.High}
+		if err := q.Validate(); err != nil {
+			return sum, fmt.Errorf("wire: client sent invalid quote: %w", err)
+		}
+		sum.Rounds = round
+
+		offer, bundleID := s.answer(q, e.Quote.U)
+		if err := c.send(&Envelope{Kind: KindOffer, Offer: offer}); err != nil {
+			return sum, err
+		}
+		if offer.Fail {
+			return sum, nil // Case 1: transaction failed
+		}
+		sum.BundleID = bundleID
+
+		se, err := c.recv(KindSettle)
+		if err != nil {
+			return sum, err
+		}
+		pay, err := s.settledPayment(q, se.Settle)
+		if err != nil {
+			return sum, err
+		}
+		switch se.Settle.Decision {
+		case DecisionAccept:
+			sum.Closed = true
+			sum.Payment = pay
+			return sum, nil
+		case DecisionFail:
+			return sum, nil // Case 4
+		}
+		if offer.Accept {
+			// Case 2: the data party already committed at this quote.
+			sum.Closed = true
+			sum.Payment = pay
+			return sum, nil
+		}
+	}
+	return sum, fmt.Errorf("wire: session exceeded %d rounds", maxRounds)
+}
+
+// answer applies the data party's strategic policy to a quote: the
+// reserved-price filter, the Case 4 viability filter (u is mutually known),
+// and the closest-below-knee selection.
+func (s *DataServer) answer(q core.QuotedPrice, u float64) (*Offer, int) {
+	affordable := s.Catalog.Affordable(q)
+	if len(affordable) == 0 {
+		return &Offer{Fail: true, Reason: "no bundle satisfies the quoted price (Case 1)"}, -1
+	}
+	if u > q.Rate {
+		breakEven := core.BreakEvenGain(u, q)
+		viable := affordable[:0:0]
+		for _, id := range affordable {
+			if s.Catalog.Gain(id) >= breakEven {
+				viable = append(viable, id)
+			}
+		}
+		if len(viable) == 0 {
+			return &Offer{Fail: true, Reason: "no affordable bundle clears the break-even (Case 1)"}, -1
+		}
+		affordable = viable
+	}
+	target := q.TargetGain()
+	id, ok := s.Catalog.ClosestBelow(affordable, target)
+	if !ok {
+		id, _ = s.Catalog.ClosestAbove(affordable, target)
+	}
+	offer := &Offer{BundleID: id, Features: s.Catalog.Bundles[id].Features}
+	if target-s.Catalog.Gain(id) <= s.EpsData {
+		offer.Accept = true // Case 2
+	}
+	return offer, id
+}
+
+// settledPayment extracts the payment from a settlement message.
+func (s *DataServer) settledPayment(q core.QuotedPrice, st *Settle) (float64, error) {
+	if !s.Secure {
+		return q.Payment(st.Gain), nil
+	}
+	if len(st.EncPayment) == 0 {
+		return 0, fmt.Errorf("wire: secure session settled without ciphertext")
+	}
+	recv := secure.NewDataReceiver(s.priv)
+	ct := &secure.Ciphertext{C: new(big.Int).SetBytes(st.EncPayment)}
+	return recv.OpenPayment(&secure.GainReport{EncPayment: ct})
+}
+
+// TaskClient is the task party endpoint: it drives the negotiation with the
+// strategic quote escalation and termination Cases 4–6.
+type TaskClient struct {
+	Session core.SessionConfig
+	// Gains realizes the VFL course for an offered bundle (the task party's
+	// side of Step 3).
+	Gains core.GainProvider
+}
+
+// Bargain runs one full session over the connection and returns the result
+// trace, mirroring core.RunPerfect outcomes.
+func (t *TaskClient) Bargain(conn net.Conn) (*core.Result, error) {
+	cfg := t.Session
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := newCodec(conn)
+
+	he, err := c.recv(KindHello)
+	if err != nil {
+		return nil, err
+	}
+	var reporter *secure.TaskReporter
+	if he.Hello.Secure {
+		n := new(big.Int).SetBytes(he.Hello.PubN)
+		pk := &secure.PublicKey{N: n, N2: new(big.Int).Mul(n, n)}
+		reporter = secure.NewTaskReporter(pk, rand.Reader)
+	}
+
+	pool := core.SamplePricePool(cfg, cfg.Seed)
+	quote := core.EquilibriumPrice(cfg.InitRate, cfg.InitBase, cfg.TargetGain)
+	res := &core.Result{}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 500
+	}
+
+	finish := func(o core.Outcome) (*core.Result, error) {
+		res.Outcome = o
+		if n := len(res.Rounds); n > 0 {
+			res.Final = res.Rounds[n-1]
+		}
+		return res, nil
+	}
+
+	poolIdx := 0
+	for round := 1; round <= maxRounds; round++ {
+		err := c.send(&Envelope{Kind: KindQuote, Quote: &Quote{
+			Round: round, Rate: quote.Rate, Base: quote.Base, High: quote.High,
+			U: cfg.U,
+		}})
+		if err != nil {
+			return res, err
+		}
+		oe, err := c.recv(KindOffer)
+		if err != nil {
+			return res, err
+		}
+		if oe.Offer.Fail {
+			return finish(core.FailData)
+		}
+
+		// Step 3: the VFL course realizes the gain.
+		gain := t.Gains.Gain(oe.Offer.Features)
+		res.Rounds = append(res.Rounds, core.RoundRecord{
+			Round: round, Price: quote, BundleID: oe.Offer.BundleID, Gain: gain,
+			Payment:   quote.Payment(gain),
+			NetProfit: cfg.U*gain - quote.Payment(gain),
+		})
+
+		settle := &Settle{Round: round}
+		if reporter != nil {
+			rep, err := reporter.Report(quote.Rate, quote.Base, quote.High, gain)
+			if err != nil {
+				return res, err
+			}
+			settle.EncPayment = rep.EncPayment.C.Bytes()
+		} else {
+			settle.Gain = gain
+		}
+
+		// Same precedence as the in-process engine: a data-party Case 2
+		// commitment closes the deal before the task party's Case 4 check.
+		switch {
+		case oe.Offer.Accept || gain >= quote.TargetGain()-cfg.EpsTask:
+			settle.Decision = DecisionAccept
+		case gain < core.BreakEvenGain(cfg.U, quote):
+			settle.Decision = DecisionFail
+		default:
+			settle.Decision = DecisionContinue
+		}
+		if err := c.send(&Envelope{Kind: KindSettle, Settle: settle}); err != nil {
+			return res, err
+		}
+		switch settle.Decision {
+		case DecisionFail:
+			return finish(core.FailTask)
+		case DecisionAccept:
+			return finish(core.Success)
+		}
+
+		// Case 6: escalate through the pool.
+		advanced := false
+		for poolIdx < len(pool) {
+			q := pool[poolIdx]
+			poolIdx++
+			if q.High > quote.High {
+				quote = q
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			return finish(core.FailMaxRounds)
+		}
+	}
+	return finish(core.FailMaxRounds)
+}

@@ -1,0 +1,274 @@
+package wire
+
+import (
+	"math"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// buildMarket constructs a deterministic synthetic market shared by the
+// tests.
+func buildMarket(t testing.TB, seed uint64) (*core.Catalog, core.SessionConfig, core.GainProvider) {
+	t.Helper()
+	gains := core.NewSyntheticGains(6, 0.2, 0, rng.New(seed))
+	cat := core.NewCatalog(6, core.CatalogConfig{Size: 20}, rng.New(seed), gains)
+	target, _ := cat.MaxGain()
+	rate, base := cat.SuggestInitialPrice()
+	cfg := core.SessionConfig{
+		U: 1000, Budget: 8, TargetGain: target,
+		InitRate: rate, InitBase: base,
+		EpsTask: 1e-3, EpsData: 1e-3,
+		MaxRounds: 400, Seed: seed,
+	}
+	return cat, cfg, gains
+}
+
+// runSession wires a client and server over net.Pipe and returns both
+// sides' views.
+func runSession(t *testing.T, secureMode bool, seed uint64) (*core.Result, *SessionSummary) {
+	t.Helper()
+	cat, cfg, gains := buildMarket(t, seed)
+	srv, err := NewDataServer(cat, cfg.EpsData, secureMode, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientConn, serverConn := net.Pipe()
+	var (
+		sum    *SessionSummary
+		srvErr error
+		wg     sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer serverConn.Close()
+		sum, srvErr = srv.ServeConn(serverConn)
+	}()
+	client := &TaskClient{Session: cfg, Gains: gains}
+	res, err := client.Bargain(clientConn)
+	clientConn.Close()
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	if srvErr != nil {
+		t.Fatalf("server: %v", srvErr)
+	}
+	return res, sum
+}
+
+func TestWireSessionReachesEquilibrium(t *testing.T) {
+	res, sum := runSession(t, false, 7)
+	if res.Outcome != core.Success {
+		t.Fatalf("outcome = %v after %d rounds", res.Outcome, len(res.Rounds))
+	}
+	if !sum.Closed {
+		t.Fatal("server did not record the close")
+	}
+	if sum.Rounds != len(res.Rounds) {
+		t.Fatalf("round mismatch: server %d vs client %d", sum.Rounds, len(res.Rounds))
+	}
+	if sum.BundleID != res.Final.BundleID {
+		t.Fatalf("bundle mismatch: %d vs %d", sum.BundleID, res.Final.BundleID)
+	}
+	// The settled payment must match Eq. 2 exactly in clear mode.
+	if math.Abs(sum.Payment-res.Final.Payment) > 1e-12 {
+		t.Fatalf("payment mismatch: %v vs %v", sum.Payment, res.Final.Payment)
+	}
+}
+
+func TestWireMatchesInProcessEngine(t *testing.T) {
+	cat, cfg, _ := buildMarket(t, 9)
+	want, err := core.RunPerfect(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := runSession(t, false, 9)
+	if res.Outcome != want.Outcome {
+		t.Fatalf("outcomes differ: wire %v vs engine %v", res.Outcome, want.Outcome)
+	}
+	if res.Final.BundleID != want.Final.BundleID {
+		t.Fatalf("bundles differ: wire %d vs engine %d", res.Final.BundleID, want.Final.BundleID)
+	}
+	if math.Abs(res.Final.Payment-want.Final.Payment) > 1e-9 {
+		t.Fatalf("payments differ: wire %v vs engine %v", res.Final.Payment, want.Final.Payment)
+	}
+}
+
+func TestWireSecureSettlement(t *testing.T) {
+	res, sum := runSession(t, true, 11)
+	if res.Outcome != core.Success {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	// Paillier settlement reproduces the Eq. 2 payment within fixed-point
+	// precision; the gain itself never crossed the wire.
+	if math.Abs(sum.Payment-res.Final.Payment) > 1e-5 {
+		t.Fatalf("secure payment %v vs expected %v", sum.Payment, res.Final.Payment)
+	}
+}
+
+func TestWireFailDataWhenBudgetTooSmall(t *testing.T) {
+	cat, cfg, gains := buildMarket(t, 13)
+	cfg.InitRate, cfg.InitBase = 0.2, 0.01
+	cfg.Budget = 0.3
+	cfg.U = 10
+	srv, err := NewDataServer(cat, cfg.EpsData, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientConn, serverConn := net.Pipe()
+	go func() {
+		defer serverConn.Close()
+		srv.ServeConn(serverConn) //nolint:errcheck // client sees the failure
+	}()
+	client := &TaskClient{Session: cfg, Gains: gains}
+	res, err := client.Bargain(clientConn)
+	clientConn.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != core.FailData {
+		t.Fatalf("outcome = %v, want FailData", res.Outcome)
+	}
+}
+
+func TestWireOverTCP(t *testing.T) {
+	cat, cfg, gains := buildMarket(t, 17)
+	srv, err := NewDataServer(cat, cfg.EpsData, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan *SessionSummary, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		defer conn.Close()
+		sum, _ := srv.ServeConn(conn)
+		done <- sum
+	}()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &TaskClient{Session: cfg, Gains: gains}
+	res, err := client.Bargain(conn)
+	conn.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := <-done
+	if sum == nil {
+		t.Fatal("server saw no session")
+	}
+	if res.Outcome != core.Success || !sum.Closed {
+		t.Fatalf("TCP session: client %v, server closed=%v", res.Outcome, sum.Closed)
+	}
+}
+
+func TestServerRejectsInvalidQuote(t *testing.T) {
+	cat, cfg, _ := buildMarket(t, 19)
+	srv, err := NewDataServer(cat, cfg.EpsData, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientConn, serverConn := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() {
+		defer serverConn.Close()
+		_, err := srv.ServeConn(serverConn)
+		errCh <- err
+	}()
+	c := newCodec(clientConn)
+	if _, err := c.recv(KindHello); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.send(&Envelope{Kind: KindQuote, Quote: &Quote{Rate: -1, Base: 1, High: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("server accepted an invalid quote")
+	}
+	clientConn.Close()
+}
+
+func TestServerRejectsWrongMessageKind(t *testing.T) {
+	cat, cfg, _ := buildMarket(t, 23)
+	srv, err := NewDataServer(cat, cfg.EpsData, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientConn, serverConn := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() {
+		defer serverConn.Close()
+		_, err := srv.ServeConn(serverConn)
+		errCh <- err
+	}()
+	c := newCodec(clientConn)
+	if _, err := c.recv(KindHello); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.send(&Envelope{Kind: KindSettle, Settle: &Settle{}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("server accepted an out-of-order message")
+	}
+	clientConn.Close()
+}
+
+func TestSecureSessionRequiresCiphertext(t *testing.T) {
+	cat, cfg, _ := buildMarket(t, 29)
+	srv, err := NewDataServer(cat, cfg.EpsData, true, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientConn, serverConn := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() {
+		defer serverConn.Close()
+		_, err := srv.ServeConn(serverConn)
+		errCh <- err
+	}()
+	c := newCodec(clientConn)
+	if _, err := c.recv(KindHello); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.send(&Envelope{Kind: KindQuote, Quote: &Quote{Rate: 10, Base: 2, High: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.recv(KindOffer); err != nil {
+		t.Fatal(err)
+	}
+	// Settle in clear on a secure session: the server must refuse.
+	if err := c.send(&Envelope{Kind: KindSettle, Settle: &Settle{Gain: 0.1, Decision: DecisionAccept}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("secure server accepted a cleartext settlement")
+	}
+	clientConn.Close()
+}
+
+func TestClientValidatesConfig(t *testing.T) {
+	_, cfg, gains := buildMarket(t, 31)
+	cfg.U = 0.001
+	client := &TaskClient{Session: cfg, Gains: gains}
+	clientConn, _ := net.Pipe()
+	defer clientConn.Close()
+	if _, err := client.Bargain(clientConn); err == nil {
+		t.Fatal("client accepted invalid config")
+	}
+}

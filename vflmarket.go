@@ -1,0 +1,196 @@
+// Package vflmarket is the public API of the bargaining-based feature
+// trading market for vertical federated learning, reproducing Cui et al.,
+// "A Bargaining-based Approach for Feature Trading in Vertical Federated
+// Learning" (ICDE 2025).
+//
+// The market couples one task party (the buyer: owns labels, wants model
+// performance) with one data party (the seller: owns feature bundles with
+// private reserved prices). The task party quotes a price (p, P0, Ph); the
+// data party answers with a feature bundle; a VFL course realizes a
+// performance gain ΔG that prices the transaction through
+// min{max{P0, P0 + p·ΔG}, Ph}. Bargaining iterates until the equilibrium
+// criterion (Ph - P0)/p = ΔG is met or a party walks away.
+//
+// Quick start:
+//
+//	market, err := vflmarket.New(vflmarket.Config{Dataset: "titanic", Seed: 1})
+//	res, err := market.Bargain(vflmarket.BargainOptions{})
+//	fmt.Println(res.Outcome, res.Final.Payment)
+//
+// The underlying pieces — the bargaining engines, the VFL simulator, the
+// dataset generators, the experiment harness regenerating every table and
+// figure of the paper — live in internal packages and surface here through
+// type aliases, so downstream code needs only this import.
+package vflmarket
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exp"
+	"repro/internal/vfl"
+)
+
+// Re-exported pricing and bargaining types. See the core package docs on
+// each for the paper mapping (Eq. 2 payments, Eq. 5 equilibrium, Cases 1–6
+// and I–VII termination).
+type (
+	// QuotedPrice is the task party's offer p = (p, P0, Ph).
+	QuotedPrice = core.QuotedPrice
+	// ReservedPrice is the data party's private per-bundle floor (p_l, P_l).
+	ReservedPrice = core.ReservedPrice
+	// Bundle is one tradable good: a set of data-party features.
+	Bundle = core.Bundle
+	// Catalog is the data party's inventory with per-bundle gains.
+	Catalog = core.Catalog
+	// CatalogConfig controls catalog generation.
+	CatalogConfig = core.CatalogConfig
+	// SessionConfig parameterizes one bargaining game.
+	SessionConfig = core.SessionConfig
+	// ImperfectConfig parameterizes estimation-based bargaining.
+	ImperfectConfig = core.ImperfectConfig
+	// Result is a bargaining trace and outcome.
+	Result = core.Result
+	// ImperfectResult adds the estimator learning curves.
+	ImperfectResult = core.ImperfectResult
+	// RoundRecord is one bargaining round's state.
+	RoundRecord = core.RoundRecord
+	// Outcome is how a session ended.
+	Outcome = core.Outcome
+	// CostModel is a bargaining-cost function C(T).
+	CostModel = core.CostModel
+	// GainProvider supplies per-bundle performance gains.
+	GainProvider = core.GainProvider
+	// GainFunc adapts a function to GainProvider.
+	GainFunc = core.GainFunc
+)
+
+// Re-exported enum values.
+const (
+	Success       = core.Success
+	FailData      = core.FailData
+	FailTask      = core.FailTask
+	FailMaxRounds = core.FailMaxRounds
+
+	TaskStrategic     = core.TaskStrategic
+	TaskIncreasePrice = core.TaskIncreasePrice
+	TaskBisection     = core.TaskBisection
+	DataStrategic     = core.DataStrategic
+	DataRandomBundle  = core.DataRandomBundle
+
+	NoCost     = core.NoCost
+	LinearCost = core.LinearCost
+	ExpCost    = core.ExpCost
+)
+
+// EquilibriumPrice returns the quote whose payment knee sits exactly at
+// targetGain (Theorem 3.1).
+func EquilibriumPrice(rate, base, targetGain float64) QuotedPrice {
+	return core.EquilibriumPrice(rate, base, targetGain)
+}
+
+// Config selects and sizes a market environment.
+type Config struct {
+	// Dataset is "titanic", "credit", or "adult".
+	Dataset string
+	// Model is "forest" (default) or "mlp".
+	Model string
+	// Synthetic replaces real VFL training with the closed-form gain model
+	// (fast; good for exploration).
+	Synthetic bool
+	// Scale in (0, 1] shrinks data and model sizes; 0 means 1 (paper scale).
+	Scale float64
+	Seed  uint64
+}
+
+// Market is a built environment: the data party's priced catalog plus the
+// task party's session template.
+type Market struct {
+	env *exp.Env
+}
+
+// New builds a market for the configured dataset: generate data, split it
+// vertically, train (or synthesize) the per-bundle gains, and derive the
+// opening quote and target gain.
+func New(cfg Config) (*Market, error) {
+	name := dataset.Name(cfg.Dataset)
+	switch name {
+	case dataset.Titanic, dataset.Credit, dataset.Adult:
+	case "":
+		name = dataset.Titanic
+	default:
+		return nil, fmt.Errorf("vflmarket: unknown dataset %q", cfg.Dataset)
+	}
+	var model vfl.BaseModel
+	switch cfg.Model {
+	case "", "forest":
+		model = vfl.RandomForest
+	case "mlp":
+		model = vfl.MLP
+	default:
+		return nil, fmt.Errorf("vflmarket: unknown model %q (want \"forest\" or \"mlp\")", cfg.Model)
+	}
+	scale := cfg.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	p := exp.DefaultProfile(name, model).Scaled(scale)
+	if cfg.Synthetic {
+		p.GainSource = exp.GainSynthetic
+	}
+	env, err := exp.BuildEnv(p, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Market{env: env}, nil
+}
+
+// Catalog exposes the data party's inventory.
+func (m *Market) Catalog() *Catalog { return m.env.Catalog }
+
+// Session returns the session template: target gain ΔG* = ΔG_max, the
+// opening quote, paper-default tolerances. Callers may adjust a copy and
+// pass it to BargainWith.
+func (m *Market) Session() SessionConfig { return m.env.Session }
+
+// BargainOptions tweak a standard bargaining run.
+type BargainOptions struct {
+	Seed      uint64
+	TaskGreed core.TaskStrategy // default TaskStrategic
+	DataGreed core.DataStrategy // default DataStrategic
+	TaskCost  CostModel
+	DataCost  CostModel
+}
+
+// Bargain plays one perfect-information bargaining game with the template
+// session.
+func (m *Market) Bargain(opts BargainOptions) (*Result, error) {
+	cfg := m.env.Session
+	cfg.Seed = opts.Seed
+	cfg.TaskStrategy = opts.TaskGreed
+	cfg.DataStrategy = opts.DataGreed
+	cfg.TaskCost = opts.TaskCost
+	cfg.DataCost = opts.DataCost
+	return core.RunPerfect(m.env.Catalog, cfg)
+}
+
+// BargainWith plays one perfect-information game with a fully custom
+// session configuration.
+func (m *Market) BargainWith(cfg SessionConfig) (*Result, error) {
+	return core.RunPerfect(m.env.Catalog, cfg)
+}
+
+// BargainImperfect plays one imperfect-information game: neither party
+// knows bundle gains in advance; both learn estimators online
+// (explorationRounds is N of Case VII; 0 means 100).
+func (m *Market) BargainImperfect(seed uint64, explorationRounds int) (*ImperfectResult, error) {
+	cfg := m.env.Session
+	cfg.Seed = seed
+	cfg.EpsTask = m.env.Profile.EpsImperfect
+	cfg.EpsData = m.env.Profile.EpsImperfect
+	return core.RunImperfect(m.env.Catalog, core.ImperfectConfig{
+		Session:           cfg,
+		ExplorationRounds: explorationRounds,
+	})
+}
