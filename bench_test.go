@@ -7,6 +7,7 @@ package vflmarket
 // Ablation benchmarks quantify the design choices DESIGN.md calls out.
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
@@ -43,7 +44,7 @@ func BenchmarkTable2DatasetStats(b *testing.B) {
 // dynamics + final-quote densities, random-forest base model).
 func BenchmarkFigure2RandomForest(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := exp.RunFigure23(vfl.RandomForest, benchOpts(10))
+		fig, err := exp.RunFigure23(context.Background(), vfl.RandomForest, benchOpts(10))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -57,7 +58,7 @@ func BenchmarkFigure2RandomForest(b *testing.B) {
 // the 3-layer MLP base model).
 func BenchmarkFigure3MLP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := exp.RunFigure23(vfl.MLP, benchOpts(10))
+		fig, err := exp.RunFigure23(context.Background(), vfl.MLP, benchOpts(10))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -71,7 +72,7 @@ func BenchmarkFigure3MLP(b *testing.B) {
 // cost: linear and exponential C(T) at two ε per dataset).
 func BenchmarkTable3BargainingCost(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t3, err := exp.RunTable3(benchOpts(10))
+		t3, err := exp.RunTable3(context.Background(), benchOpts(10))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -93,7 +94,7 @@ func BenchmarkTable4Imperfect(b *testing.B) {
 	opts.Datasets = []dataset.Name{dataset.Titanic, dataset.Credit, dataset.Adult}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		t4, err := exp.RunTable4(opts)
+		t4, err := exp.RunTable4(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -114,7 +115,7 @@ func BenchmarkFigure4EstimatorMSE(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f4, err := exp.RunFigure4(opts)
+		f4, err := exp.RunFigure4(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -207,6 +208,42 @@ func BenchmarkAblationBisection(b *testing.B) {
 			if n > 0 {
 				b.ReportMetric(rounds/float64(n), "rounds/op")
 				b.ReportMetric(pay/float64(n), "payment/op")
+			}
+		})
+	}
+}
+
+// BenchmarkBargainBatch plays N=64 synthetic bargaining sessions per
+// iteration through Engine.BargainBatch, serially (workers=1) and across
+// the full worker pool (workers=GOMAXPROCS). The two sub-benchmarks return
+// byte-identical results — only wall-clock differs — which is the batch
+// runner's determinism contract; at GOMAXPROCS >= 8 the parallel form is
+// expected to run >= 4x faster than the serial loop.
+func BenchmarkBargainBatch(b *testing.B) {
+	e, err := NewEngine("titanic", WithSynthetic(true), WithScale(0.5), WithSeed(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := make([]BatchSpec, 64)
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // GOMAXPROCS
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := e.BargainBatch(context.Background(), specs, BatchOptions{
+					Workers: bench.workers,
+					Seed:    3,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != len(specs) {
+					b.Fatalf("results = %d", len(res))
+				}
 			}
 		})
 	}

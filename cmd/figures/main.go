@@ -31,9 +31,13 @@ func main() {
 	synthetic := flag.Bool("synthetic", false, "use synthetic gains instead of training real VFL courses")
 	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	outDir := flag.String("out", "", "directory for per-panel files (default: stdout)")
+	workers := flag.Int("workers", 0, "worker pool size for repeated runs; 0 means GOMAXPROCS")
 	flag.Parse()
 
-	opts := exp.Options{Runs: *runs, Seed: *seed, Scale: *scale}
+	ctx, stop := exp.SignalContext()
+	defer stop()
+
+	opts := exp.Options{Runs: *runs, Seed: *seed, Scale: *scale, Workers: *workers}
 	if *synthetic {
 		opts.GainSource = exp.GainSynthetic
 	}
@@ -74,7 +78,7 @@ func main() {
 		if *fig == 3 {
 			model = vfl.MLP
 		}
-		res, err := exp.RunFigure23(model, opts)
+		res, err := exp.RunFigure23(ctx, model, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -89,7 +93,7 @@ func main() {
 			emit(fmt.Sprintf("figure%d_%s_density", *fig, df.Dataset), exp.FormatFigureDensities(df))
 		}
 	case 4:
-		res, err := exp.RunFigure4(exp.Figure4Options{Options: opts})
+		res, err := exp.RunFigure4(ctx, exp.Figure4Options{Options: opts})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -2,9 +2,13 @@
 // paper's ε analysis (Table 3) to the market's other knobs: the candidate
 // price-pool size, the task party's utility rate, and the catalog size.
 //
+// Runs execute concurrently across a bounded worker pool; results are
+// deterministic in the seed regardless of -workers. Ctrl-C cancels the
+// sweep between bargaining rounds.
+//
 // Usage:
 //
-//	go run ./cmd/sweep -param epsilon -dataset titanic [-runs 50] [-synthetic]
+//	go run ./cmd/sweep -param epsilon -dataset titanic [-runs 50] [-workers 8] [-synthetic]
 package main
 
 import (
@@ -28,9 +32,13 @@ func main() {
 	runs := flag.Int("runs", 50, "bargaining games per value")
 	seed := flag.Uint64("seed", 1, "master seed")
 	scale := flag.Float64("scale", 1, "profile scale in (0,1]")
+	workers := flag.Int("workers", 0, "worker pool size; 0 means GOMAXPROCS")
 	synthetic := flag.Bool("synthetic", false, "use synthetic gains")
 	asCSV := flag.Bool("csv", false, "emit CSV")
 	flag.Parse()
+
+	ctx, stop := exp.SignalContext()
+	defer stop()
 
 	var p exp.SweepParam
 	var defaults []float64
@@ -58,11 +66,11 @@ func main() {
 		}
 	}
 
-	opts := exp.Options{Runs: *runs, Seed: *seed, Scale: *scale}
+	opts := exp.Options{Runs: *runs, Seed: *seed, Scale: *scale, Workers: *workers}
 	if *synthetic {
 		opts.GainSource = exp.GainSynthetic
 	}
-	sweep, err := exp.RunSweep(dataset.Name(*ds), p, values, opts)
+	sweep, err := exp.RunSweep(ctx, dataset.Name(*ds), p, values, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

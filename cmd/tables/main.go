@@ -26,9 +26,13 @@ func main() {
 	scale := flag.Float64("scale", 1, "profile scale in (0,1]; lower is faster")
 	synthetic := flag.Bool("synthetic", false, "use synthetic gains instead of training real VFL courses")
 	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	workers := flag.Int("workers", 0, "worker pool size for repeated runs; 0 means GOMAXPROCS")
 	flag.Parse()
 
-	opts := exp.Options{Runs: *runs, Seed: *seed, Scale: *scale}
+	ctx, stop := exp.SignalContext()
+	defer stop()
+
+	opts := exp.Options{Runs: *runs, Seed: *seed, Scale: *scale, Workers: *workers}
 	if *synthetic {
 		opts.GainSource = exp.GainSynthetic
 	}
@@ -50,14 +54,14 @@ func main() {
 		render(exp.FormatTable2(exp.RunTable2(*seed)))
 	case 3:
 		fmt.Println("Table 3: Effect of bargaining cost (random-forest base model).")
-		res, err := exp.RunTable3(opts)
+		res, err := exp.RunTable3(ctx, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
 		render(exp.FormatTable3(res))
 	case 4:
 		fmt.Println("Table 4: Bargaining under imperfect performance information.")
-		res, err := exp.RunTable4(exp.Table4Options{Options: opts})
+		res, err := exp.RunTable4(ctx, exp.Table4Options{Options: opts})
 		if err != nil {
 			log.Fatal(err)
 		}

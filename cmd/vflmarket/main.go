@@ -2,6 +2,10 @@
 // the round-by-round trace: the quoted prices, the bundles the data party
 // offers, the realized performance gains, and the final transaction.
 //
+// With -v the rounds stream as they are played (through a round observer),
+// so long negotiations show progress live; Ctrl-C cancels the session
+// between rounds.
+//
 // Usage:
 //
 //	go run ./cmd/vflmarket -dataset titanic [-model forest] [-imperfect] [-seed 1]
@@ -11,8 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro"
+	"repro/internal/exp"
 )
 
 func main() {
@@ -25,50 +31,60 @@ func main() {
 	synthetic := flag.Bool("synthetic", false, "use synthetic gains (fast)")
 	imperfect := flag.Bool("imperfect", false, "bargain under imperfect performance information")
 	explore := flag.Int("explore", 60, "exploration rounds N (imperfect only)")
-	verbose := flag.Bool("v", false, "print every round")
+	verbose := flag.Bool("v", false, "stream every round as it is played")
 	flag.Parse()
 
-	market, err := vflmarket.New(vflmarket.Config{
-		Dataset: *ds, Model: *model, Seed: *seed, Scale: *scale, Synthetic: *synthetic,
-	})
+	ctx, stop := exp.SignalContext()
+	defer stop()
+
+	engine, err := vflmarket.NewEngine(*ds,
+		vflmarket.WithModel(*model),
+		vflmarket.WithSeed(*seed),
+		vflmarket.WithScale(*scale),
+		vflmarket.WithSynthetic(*synthetic),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	session := market.Session()
-	fmt.Printf("Market: %s (%s gains), %d bundles\n", *ds, gainsKind(*synthetic), market.Catalog().Len())
+	session := engine.Session()
+	fmt.Printf("Market: %s (%s gains), %d bundles\n", *ds, gainsKind(*synthetic), engine.Catalog().Len())
 	fmt.Printf("Task party: u=%.4g, budget=%.4g, target ΔG*=%.4g\n",
 		session.U, session.Budget, session.TargetGain)
 	fmt.Printf("Opening quote: p=%.4g, P0=%.4g, Ph=%.4g\n\n",
 		session.InitRate, session.InitBase, session.InitBase+session.InitRate*session.TargetGain)
 
+	// With -v, stream rounds while the session runs instead of dumping the
+	// trace afterwards. Only the per-round half of the printer is attached:
+	// this command prints its own outcome summary below.
+	var observers []vflmarket.RoundObserver
+	if *verbose {
+		printer := &exp.RoundPrinter{W: os.Stdout}
+		observers = append(observers, vflmarket.ObserverFuncs{Round: printer.OnRound})
+	}
+
 	var rounds []vflmarket.RoundRecord
 	var outcome vflmarket.Outcome
 	var final vflmarket.RoundRecord
 	if *imperfect {
-		res, err := market.BargainImperfect(*seed, *explore)
+		res, err := engine.BargainImperfect(ctx, *seed, *explore, observers...)
 		if err != nil {
 			log.Fatal(err)
 		}
 		rounds, outcome, final = res.Rounds, res.Outcome, res.Final
 	} else {
-		res, err := market.Bargain(vflmarket.BargainOptions{Seed: *seed})
+		res, err := engine.Bargain(ctx, vflmarket.BargainOptions{Seed: *seed, Observers: observers})
 		if err != nil {
 			log.Fatal(err)
 		}
 		rounds, outcome, final = res.Rounds, res.Outcome, res.Final
 	}
-
 	if *verbose {
-		for _, r := range rounds {
-			fmt.Printf("round %3d: quote(p=%.3g P0=%.3g Ph=%.3g) bundle=%d ΔG=%.4g payment=%.4g net=%.4g\n",
-				r.Round, r.Price.Rate, r.Price.Base, r.Price.High,
-				r.BundleID, r.Gain, r.Payment, r.NetProfit)
-		}
 		fmt.Println()
 	}
+
 	fmt.Printf("Outcome: %v after %d rounds\n", outcome, len(rounds))
 	if outcome == vflmarket.Success {
-		b := market.Catalog().Bundles[final.BundleID]
+		b := engine.Catalog().Bundles[final.BundleID]
 		fmt.Printf("Transaction: bundle %d %v (reserved p_l=%.3g, P_l=%.3g)\n",
 			b.ID, b.Features, b.Reserved.Rate, b.Reserved.Base)
 		fmt.Printf("  realized ΔG     = %.4g\n", final.Gain)

@@ -1,0 +1,204 @@
+package vflmarket
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exp"
+	"repro/internal/rng"
+	"repro/internal/vfl"
+)
+
+// Option configures an Engine at construction time.
+type Option func(*Config)
+
+// WithModel selects the VFL base model: "forest" (default) or "mlp".
+func WithModel(model string) Option { return func(c *Config) { c.Model = model } }
+
+// WithSynthetic replaces real VFL training with the closed-form gain model
+// (fast; good for exploration and tests).
+func WithSynthetic(on bool) Option { return func(c *Config) { c.Synthetic = on } }
+
+// WithScale shrinks data and model sizes by a factor in (0, 1]; 1 is paper
+// scale.
+func WithScale(scale float64) Option { return func(c *Config) { c.Scale = scale } }
+
+// WithSeed sets the master seed the environment (catalog, gains, opening
+// quote) is generated from.
+func WithSeed(seed uint64) Option { return func(c *Config) { c.Seed = seed } }
+
+// Engine is a built market environment — the data party's priced catalog
+// plus the task party's session template — ready to run any number of
+// bargaining sessions. An Engine is immutable after construction and safe
+// for concurrent use: every run derives all mutable state from its own
+// session configuration.
+type Engine struct {
+	env *exp.Env
+}
+
+// NewEngine builds an engine for the named dataset ("titanic", "credit",
+// or "adult"; "" means titanic): generate data, split it vertically, train
+// (or synthesize) the per-bundle gains, and derive the opening quote and
+// target gain.
+func NewEngine(ds string, opts ...Option) (*Engine, error) {
+	cfg := Config{Dataset: ds}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return NewEngineFromConfig(cfg)
+}
+
+// NewEngineFromConfig is NewEngine with the options in struct form.
+func NewEngineFromConfig(cfg Config) (*Engine, error) {
+	name := dataset.Name(cfg.Dataset)
+	switch name {
+	case dataset.Titanic, dataset.Credit, dataset.Adult:
+	case "":
+		name = dataset.Titanic
+	default:
+		return nil, fmt.Errorf("vflmarket: unknown dataset %q", cfg.Dataset)
+	}
+	var model vfl.BaseModel
+	switch cfg.Model {
+	case "", "forest":
+		model = vfl.RandomForest
+	case "mlp":
+		model = vfl.MLP
+	default:
+		return nil, fmt.Errorf("vflmarket: unknown model %q (want \"forest\" or \"mlp\")", cfg.Model)
+	}
+	scale := cfg.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	p := exp.DefaultProfile(name, model).Scaled(scale)
+	if cfg.Synthetic {
+		p.GainSource = exp.GainSynthetic
+	}
+	env, err := exp.BuildEnv(p, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{env: env}, nil
+}
+
+// Catalog exposes the data party's inventory.
+func (e *Engine) Catalog() *Catalog { return e.env.Catalog }
+
+// Session returns the session template: target gain ΔG* = ΔG_max, the
+// opening quote, paper-default tolerances. Callers may adjust a copy and
+// pass it to BargainWith or a BatchSpec.
+func (e *Engine) Session() SessionConfig { return e.env.Session }
+
+// BargainOptions tweak a standard bargaining run. Unset fields keep the
+// engine template's values (which themselves fall back to the
+// SessionConfig defaults), so a zero BargainOptions plays the template
+// session unchanged.
+type BargainOptions struct {
+	Seed      uint64            // 0 keeps the template seed
+	TaskGreed core.TaskStrategy // default: the template strategy (TaskStrategic)
+	DataGreed core.DataStrategy // default: the template strategy (DataStrategic)
+	TaskCost  CostModel         // zero value keeps the template cost model
+	DataCost  CostModel         // zero value keeps the template cost model
+	// Observers stream the session's rounds and outcome as they happen.
+	Observers []RoundObserver
+}
+
+// mergeBargainOptions overlays the set fields of opts on the template
+// session. Unset (zero-valued) options leave the template untouched rather
+// than zeroing it, so template defaults survive a partial BargainOptions.
+func mergeBargainOptions(tmpl SessionConfig, opts BargainOptions) SessionConfig {
+	if opts.Seed != 0 {
+		tmpl.Seed = opts.Seed
+	}
+	if opts.TaskGreed != TaskStrategic {
+		tmpl.TaskStrategy = opts.TaskGreed
+	}
+	if opts.DataGreed != DataStrategic {
+		tmpl.DataStrategy = opts.DataGreed
+	}
+	if opts.TaskCost != (CostModel{}) {
+		tmpl.TaskCost = opts.TaskCost
+	}
+	if opts.DataCost != (CostModel{}) {
+		tmpl.DataCost = opts.DataCost
+	}
+	return tmpl
+}
+
+// Bargain plays one perfect-information bargaining game with the template
+// session, cancellable between rounds through ctx.
+func (e *Engine) Bargain(ctx context.Context, opts BargainOptions) (*Result, error) {
+	cfg := mergeBargainOptions(e.env.Session, opts)
+	return core.NewSession(e.env.Catalog, cfg).Observe(opts.Observers...).RunPerfect(ctx)
+}
+
+// BargainWith plays one perfect-information game with a fully custom
+// session configuration, streaming progress to any attached observers.
+func (e *Engine) BargainWith(ctx context.Context, cfg SessionConfig, obs ...RoundObserver) (*Result, error) {
+	return core.NewSession(e.env.Catalog, cfg).Observe(obs...).RunPerfect(ctx)
+}
+
+// BargainImperfect plays one imperfect-information game: neither party
+// knows bundle gains in advance; both learn estimators online
+// (explorationRounds is N of Case VII; 0 means 100).
+func (e *Engine) BargainImperfect(ctx context.Context, seed uint64, explorationRounds int, obs ...RoundObserver) (*ImperfectResult, error) {
+	cfg := e.env.Session
+	cfg.Seed = seed
+	cfg.EpsTask = e.env.Profile.EpsImperfect
+	cfg.EpsData = e.env.Profile.EpsImperfect
+	return core.NewSession(e.env.Catalog, cfg).Observe(obs...).
+		RunImperfect(ctx, core.ImperfectParams{ExplorationRounds: explorationRounds})
+}
+
+// BatchSpec is one session of a batch run.
+type BatchSpec struct {
+	// Session overrides the engine's template session when non-nil.
+	Session *SessionConfig
+	// Seed overrides the session seed. When 0, the session keeps its own
+	// seed if set, and otherwise derives one from BatchOptions.Seed and the
+	// spec's index — giving every session of the batch an independent,
+	// scheduling-free random stream.
+	Seed uint64
+	// Observer, when non-nil, streams this session's rounds and outcome.
+	// It is called from the worker goroutine playing the session.
+	Observer RoundObserver
+}
+
+// BatchOptions control a batch run.
+type BatchOptions struct {
+	// Workers bounds the worker pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// Seed is the master seed that per-session seeds are derived from for
+	// specs that set neither a Seed nor a seeded Session.
+	Seed uint64
+}
+
+// BargainBatch plays one perfect-information game per spec across a bounded
+// worker pool and returns the results in spec order. Results are
+// deterministic in the specs and BatchOptions.Seed alone: the worker count
+// only changes wall-clock time, never outcomes, because each session runs
+// on its own derived random stream.
+//
+// The first session error — including ctx cancellation, checked between
+// rounds of every in-flight session — abandons the rest of the batch;
+// unfinished slots are left nil and the error is returned alongside the
+// partial results.
+func (e *Engine) BargainBatch(ctx context.Context, specs []BatchSpec, opts BatchOptions) ([]*Result, error) {
+	jobs := make([]core.BatchJob, len(specs))
+	for i, sp := range specs {
+		cfg := e.env.Session
+		if sp.Session != nil {
+			cfg = *sp.Session
+		}
+		if sp.Seed != 0 {
+			cfg.Seed = sp.Seed
+		} else if cfg.Seed == 0 {
+			cfg.Seed = rng.DeriveSeed(opts.Seed, uint64(i))
+		}
+		jobs[i] = core.BatchJob{Config: cfg, Observer: sp.Observer}
+	}
+	return core.RunBatch(ctx, e.env.Catalog, jobs, opts.Workers)
+}

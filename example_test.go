@@ -1,14 +1,36 @@
 package vflmarket_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
 )
 
-// The smallest possible market session: build a Titanic market with
+// The smallest possible market session: build a Titanic engine with
 // synthetic gains and run one strategic bargaining game.
 func Example() {
+	engine, err := vflmarket.NewEngine("titanic",
+		vflmarket.WithSynthetic(true),
+		vflmarket.WithSeed(42),
+	)
+	if err != nil {
+		panic(err)
+	}
+	res, err := engine.Bargain(context.Background(), vflmarket.BargainOptions{Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("outcome:", res.Outcome)
+	fmt.Printf("equilibrium: realized ΔG %.4f at knee %.4f\n",
+		res.Final.Gain, res.Final.Price.TargetGain())
+	// Output:
+	// outcome: success
+	// equilibrium: realized ΔG 0.1395 at knee 0.1395
+}
+
+// The deprecated Market façade still compiles and delegates to the engine.
+func ExampleNew() {
 	market, err := vflmarket.New(vflmarket.Config{
 		Dataset:   "titanic",
 		Synthetic: true,
@@ -22,11 +44,63 @@ func Example() {
 		panic(err)
 	}
 	fmt.Println("outcome:", res.Outcome)
-	fmt.Printf("equilibrium: realized ΔG %.4f at knee %.4f\n",
-		res.Final.Gain, res.Final.Price.TargetGain())
 	// Output:
 	// outcome: success
-	// equilibrium: realized ΔG 0.1395 at knee 0.1395
+}
+
+// A batch of bargaining sessions across the worker pool: every session
+// plays on its own derived random stream, so the results are identical at
+// any worker count.
+func ExampleEngine_BargainBatch() {
+	engine, err := vflmarket.NewEngine("titanic",
+		vflmarket.WithSynthetic(true),
+		vflmarket.WithSeed(42),
+	)
+	if err != nil {
+		panic(err)
+	}
+	specs := make([]vflmarket.BatchSpec, 8)
+	results, err := engine.BargainBatch(context.Background(), specs, vflmarket.BatchOptions{
+		Seed:    3,
+		Workers: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	successes := 0
+	for _, res := range results {
+		if res.Outcome == vflmarket.Success {
+			successes++
+		}
+	}
+	fmt.Printf("%d/%d sessions closed at the equilibrium\n", successes, len(specs))
+	// Output:
+	// 8/8 sessions closed at the equilibrium
+}
+
+// Observers stream rounds while bargaining runs, instead of waiting for
+// the final trace.
+func ExampleRoundObserver() {
+	engine, err := vflmarket.NewEngine("titanic",
+		vflmarket.WithSynthetic(true),
+		vflmarket.WithSeed(42),
+	)
+	if err != nil {
+		panic(err)
+	}
+	rounds := 0
+	obs := vflmarket.ObserverFuncs{
+		Round:   func(vflmarket.RoundRecord) { rounds++ },
+		Outcome: func(res vflmarket.Result) { fmt.Printf("streamed %d rounds, %v\n", rounds, res.Outcome) },
+	}
+	if _, err := engine.Bargain(context.Background(), vflmarket.BargainOptions{
+		Seed:      7,
+		Observers: []vflmarket.RoundObserver{obs},
+	}); err != nil {
+		panic(err)
+	}
+	// Output:
+	// streamed 99 rounds, success
 }
 
 // EquilibriumPrice constructs the Theorem 3.1 quote whose payment knee sits

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,21 +19,20 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	market, err := vflmarket.New(vflmarket.Config{
-		Dataset:   "adult",
-		Model:     "mlp",
-		Synthetic: true, // estimator dynamics, not VFL training, are the point here
-		Seed:      11,
-	})
+	engine, err := vflmarket.NewEngine("adult",
+		vflmarket.WithModel("mlp"),
+		vflmarket.WithSynthetic(true), // estimator dynamics, not VFL training, are the point here
+		vflmarket.WithSeed(11),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	session := market.Session()
+	session := engine.Session()
 	fmt.Printf("Media platform offers %d bundles; advertiser targets ΔG* = %.4f.\n\n",
-		market.Catalog().Len(), session.TargetGain)
+		engine.Catalog().Len(), session.TargetGain)
 
 	const exploration = 60
-	res, err := market.BargainImperfect(5, exploration)
+	res, err := engine.BargainImperfect(context.Background(), 5, exploration)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func main() {
 
 	if res.Outcome == vflmarket.Success {
 		fmt.Printf("\nDeal: bundle %v, ΔG=%.4f, payment %.3f, advertiser nets %.3f.\n",
-			market.Catalog().Bundles[res.Final.BundleID].Features,
+			engine.Catalog().Bundles[res.Final.BundleID].Features,
 			res.Final.Gain, res.Final.Payment, res.Final.NetProfit)
 	}
 }

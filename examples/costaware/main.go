@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,11 +18,10 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	market, err := vflmarket.New(vflmarket.Config{
-		Dataset:   "titanic",
-		Synthetic: true,
-		Seed:      9,
-	})
+	engine, err := vflmarket.NewEngine("titanic",
+		vflmarket.WithSynthetic(true),
+		vflmarket.WithSeed(9),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func main() {
 		var rounds, successes int
 		var gain, net, pay float64
 		for s := uint64(0); s < runs; s++ {
-			res, err := market.Bargain(vflmarket.BargainOptions{
+			res, err := engine.Bargain(context.Background(), vflmarket.BargainOptions{
 				Seed:     s,
 				TaskCost: c.model,
 				DataCost: c.model,

@@ -6,12 +6,16 @@
 //
 // The example compares the paper's strategic bargaining against the two
 // non-strategic baselines over repeated games, reproducing the Figure 2
-// comparison on the Credit dataset at a small scale.
+// comparison on the Credit dataset at a small scale. The repeated games of
+// each strategy run concurrently through Engine.BargainBatch: the worker
+// pool only changes wall-clock time, never the results, because every
+// session bargains on its own deterministic random stream.
 //
 //	go run ./examples/creditrisk
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,40 +26,49 @@ func main() {
 	log.SetFlags(0)
 
 	fmt.Println("Building the credit market (training real VFL courses per bundle)...")
-	market, err := vflmarket.New(vflmarket.Config{
-		Dataset: "credit",
-		Model:   "forest",
-		Scale:   0.25, // shrink data/model so the example runs in seconds
-		Seed:    3,
-	})
+	engine, err := vflmarket.NewEngine("credit",
+		vflmarket.WithModel("forest"),
+		vflmarket.WithScale(0.25), // shrink data/model so the example runs in seconds
+		vflmarket.WithSeed(3),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	session := market.Session()
+	session := engine.Session()
 	fmt.Printf("Catalog: %d repayment-feature bundles; best achievable ΔG = %.4f\n\n",
-		market.Catalog().Len(), session.TargetGain)
+		engine.Catalog().Len(), session.TargetGain)
 
 	const runs = 20
 	type row struct {
 		label string
-		opts  vflmarket.BargainOptions
+		task  vflmarket.SessionConfig
 	}
+	strategic := session
+	increase := session
+	increase.TaskStrategy = vflmarket.TaskIncreasePrice
+	random := session
+	random.DataStrategy = vflmarket.DataRandomBundle
 	rows := []row{
-		{"Strategic (ours)", vflmarket.BargainOptions{}},
-		{"Increase Price", vflmarket.BargainOptions{TaskGreed: vflmarket.TaskIncreasePrice}},
-		{"Random Bundle", vflmarket.BargainOptions{DataGreed: vflmarket.DataRandomBundle}},
+		{"Strategic (ours)", strategic},
+		{"Increase Price", increase},
+		{"Random Bundle", random},
 	}
 	fmt.Printf("%-18s %9s %9s %9s %9s\n", "strategy", "success", "rounds", "net", "payment")
 	for _, r := range rows {
+		// One batch per strategy: `runs` sessions, seeds derived from the
+		// batch seed, played across the default worker pool.
+		specs := make([]vflmarket.BatchSpec, runs)
+		for i := range specs {
+			cfg := r.task
+			specs[i] = vflmarket.BatchSpec{Session: &cfg}
+		}
+		results, err := engine.BargainBatch(context.Background(), specs, vflmarket.BatchOptions{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
 		var successes, totalRounds int
 		var net, pay float64
-		for s := uint64(0); s < runs; s++ {
-			opts := r.opts
-			opts.Seed = s
-			res, err := market.Bargain(opts)
-			if err != nil {
-				log.Fatal(err)
-			}
+		for _, res := range results {
 			totalRounds += len(res.Rounds)
 			if res.Outcome == vflmarket.Success {
 				successes++

@@ -20,19 +20,18 @@ func main() {
 	log.SetFlags(0)
 
 	// Build the market environment (the data party's side of the world).
-	market, err := vflmarket.New(vflmarket.Config{
-		Dataset:   "titanic",
-		Synthetic: true,
-		Seed:      21,
-	})
+	engine, err := vflmarket.NewEngine("titanic",
+		vflmarket.WithSynthetic(true),
+		vflmarket.WithSeed(21),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	session := market.Session()
+	session := engine.Session()
 
 	// The data party listens; secure settlement with a 256-bit-prime
 	// Paillier key (demo size).
-	server, err := wire.NewDataServer(market.Catalog(), session.EpsData, true, 256)
+	server, err := wire.NewDataServer(engine.Catalog(), session.EpsData, true, 256)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +41,7 @@ func main() {
 	}
 	defer l.Close()
 	fmt.Printf("Data party listening on %s (catalog: %d bundles, Paillier settlement on)\n",
-		l.Addr(), market.Catalog().Len())
+		l.Addr(), engine.Catalog().Len())
 
 	serverDone := make(chan *wire.SessionSummary, 1)
 	go func() {
@@ -70,9 +69,9 @@ func main() {
 		Session: session,
 		Gains: vflmarket.GainFunc(func(features []int) float64 {
 			// Look the bundle up in the shared pre-trained gains.
-			for i, b := range market.Catalog().Bundles {
+			for i, b := range engine.Catalog().Bundles {
 				if equalSets(b.Features, features) {
-					return market.Catalog().Gain(i)
+					return engine.Catalog().Gain(i)
 				}
 			}
 			return 0

@@ -1,10 +1,11 @@
-// Quickstart: build a feature market on the Titanic dataset and run one
-// strategic bargaining game end to end.
+// Quickstart: build a feature-market engine on the Titanic dataset and run
+// one strategic bargaining game end to end, streaming rounds as they play.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,34 +15,45 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	// Build the market: synthetic gains keep this instant; drop Synthetic
-	// to train real VFL courses for every bundle in the catalog.
-	market, err := vflmarket.New(vflmarket.Config{
-		Dataset:   "titanic",
-		Synthetic: true,
-		Seed:      42,
+	// Build the engine once: synthetic gains keep this instant; drop
+	// WithSynthetic to train real VFL courses for every bundle in the
+	// catalog. The engine is immutable and safe to share across goroutines.
+	engine, err := vflmarket.NewEngine("titanic",
+		vflmarket.WithSynthetic(true),
+		vflmarket.WithSeed(42),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	session := engine.Session()
+	fmt.Printf("The data party offers %d feature bundles.\n", engine.Catalog().Len())
+	fmt.Printf("The task party targets ΔG* = %.4f with budget %.1f.\n\n",
+		session.TargetGain, session.Budget)
+
+	// One bargaining game under perfect performance information. The
+	// observer streams every round as it is played — no waiting for the
+	// final trace — and the context would let us cancel mid-negotiation.
+	progress := vflmarket.ObserverFuncs{
+		Round: func(r vflmarket.RoundRecord) {
+			fmt.Printf("  round %2d: bundle %2d, ΔG=%.4f, payment %.3f\n",
+				r.Round, r.BundleID, r.Gain, r.Payment)
+		},
+	}
+	res, err := engine.Bargain(context.Background(), vflmarket.BargainOptions{
+		Seed:      7,
+		Observers: []vflmarket.RoundObserver{progress},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	session := market.Session()
-	fmt.Printf("The data party offers %d feature bundles.\n", market.Catalog().Len())
-	fmt.Printf("The task party targets ΔG* = %.4f with budget %.1f.\n\n",
-		session.TargetGain, session.Budget)
-
-	// One bargaining game under perfect performance information.
-	res, err := market.Bargain(vflmarket.BargainOptions{Seed: 7})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Printf("Outcome: %v in %d rounds.\n", res.Outcome, len(res.Rounds))
+	fmt.Printf("\nOutcome: %v in %d rounds.\n", res.Outcome, len(res.Rounds))
 	if res.Outcome != vflmarket.Success {
 		return
 	}
 	final := res.Final
-	bundle := market.Catalog().Bundles[final.BundleID]
+	bundle := engine.Catalog().Bundles[final.BundleID]
 	fmt.Printf("Traded bundle: features %v\n", bundle.Features)
 	fmt.Printf("Final quote:   p=%.2f  P0=%.2f  Ph=%.2f\n",
 		final.Price.Rate, final.Price.Base, final.Price.High)

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// BatchJob is one perfect-information bargaining session of a batch: a full
+// session configuration plus an optional per-session observer.
+type BatchJob struct {
+	Config SessionConfig
+	// Observer, when non-nil, streams this session's rounds and outcome.
+	// It is invoked from the worker goroutine playing the session; jobs run
+	// concurrently, so an observer shared between jobs must be safe for
+	// concurrent use.
+	Observer RoundObserver
+}
+
+// ForEach executes fn(ctx, 0..n-1) across a bounded worker pool
+// (workers <= 0 means GOMAXPROCS). fn must write only to its own index's
+// state. The first error cancels the context handed to the remaining calls
+// and is returned; when the parent context ends first, its cause is
+// returned instead.
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(ctx, i); err != nil {
+					errOnce.Do(func() { firstErr = err; cancel() })
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if firstErr == nil {
+		// The parent context may have ended after the last feed.
+		if err := ctx.Err(); err != nil {
+			firstErr = context.Cause(ctx)
+		}
+	}
+	return firstErr
+}
+
+// RunBatch plays every job's perfect-information game over the catalog with
+// a bounded worker pool. workers <= 0 means GOMAXPROCS. Results are indexed
+// like jobs and depend only on each job's configuration — identical inputs
+// produce identical outputs regardless of the worker count or scheduling,
+// because every session derives its randomness from its own Seed.
+//
+// The first session error (an invalid configuration, or the context being
+// cancelled) stops the batch: remaining sessions are abandoned, their slots
+// are left nil, and the error is returned alongside the partial results.
+func RunBatch(ctx context.Context, cat *Catalog, jobs []BatchJob, workers int) ([]*Result, error) {
+	results := make([]*Result, len(jobs))
+	err := ForEach(ctx, len(jobs), workers, func(ctx context.Context, i int) error {
+		sess := NewSession(cat, jobs[i].Config).Observe(jobs[i].Observer)
+		res, err := sess.RunPerfect(ctx)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	return results, err
+}

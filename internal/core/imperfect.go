@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -31,18 +32,39 @@ type ImperfectConfig struct {
 	ReplaySteps int
 }
 
-func (c ImperfectConfig) withDefaults() ImperfectConfig {
-	c.Session = c.Session.withDefaults()
-	if c.ExplorationRounds <= 0 {
-		c.ExplorationRounds = 100
+// Params extracts the imperfect-information knobs from the config.
+func (c ImperfectConfig) Params() ImperfectParams {
+	return ImperfectParams{
+		ExplorationRounds: c.ExplorationRounds,
+		PricePool:         c.PricePool,
+		ReplaySteps:       c.ReplaySteps,
 	}
-	if c.PricePool <= 0 {
-		c.PricePool = 200
+}
+
+// ImperfectParams are the imperfect-information knobs of ImperfectConfig
+// without the session configuration; Session.RunImperfect takes them
+// directly since the session configuration is the Session's own.
+type ImperfectParams struct {
+	// ExplorationRounds is N of Case VII (see ImperfectConfig).
+	ExplorationRounds int
+	// PricePool is the candidate quote set size (see ImperfectConfig).
+	PricePool int
+	// ReplaySteps is the per-round experience-replay budget (see
+	// ImperfectConfig).
+	ReplaySteps int
+}
+
+func (p ImperfectParams) withDefaults() ImperfectParams {
+	if p.ExplorationRounds <= 0 {
+		p.ExplorationRounds = 100
 	}
-	if c.ReplaySteps <= 0 {
-		c.ReplaySteps = 4
+	if p.PricePool <= 0 {
+		p.PricePool = 200
 	}
-	return c
+	if p.ReplaySteps <= 0 {
+		p.ReplaySteps = 4
+	}
+	return p
 }
 
 // ImperfectResult extends Result with the estimator learning curves of
@@ -60,9 +82,23 @@ type ImperfectResult struct {
 // selected bundle's gain is "realized" by running VFL (a catalog lookup
 // here, since the oracle memoizes training) and then used to update both
 // estimators.
+//
+// It is the blocking, observer-free form of Session.RunImperfect.
 func RunImperfect(cat *Catalog, cfg ImperfectConfig) (*ImperfectResult, error) {
-	cfg = cfg.withDefaults()
-	s := cfg.Session
+	return NewSession(cat, cfg.Session).RunImperfect(context.Background(), cfg.Params())
+}
+
+// RunImperfect plays the estimation-based bargaining of §3.5 over the
+// session's catalog. The context is checked between rounds, exactly as in
+// Session.RunPerfect; observers stream every realized round (including
+// exploration rounds) and the final outcome.
+func (sess *Session) RunImperfect(ctx context.Context, params ImperfectParams) (*ImperfectResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cat := sess.cat
+	cfg := params.withDefaults()
+	s := sess.cfg.withDefaults()
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -91,25 +127,31 @@ func RunImperfect(cat *Catalog, cfg ImperfectConfig) (*ImperfectResult, error) {
 	quote := EquilibriumPrice(s.InitRate, s.InitBase, s.TargetGain)
 
 	record := func(T int, q QuotedPrice, bundleID int, gain float64) {
-		res.Rounds = append(res.Rounds, RoundRecord{
+		rec := RoundRecord{
 			Round: T, Price: q, BundleID: bundleID, Gain: gain,
 			Payment:   q.Payment(gain),
 			NetProfit: s.U*gain - q.Payment(gain),
 			TaskCost:  s.TaskCost.At(T),
 			DataCost:  s.DataCost.At(T),
-		})
+		}
+		res.Rounds = append(res.Rounds, rec)
+		sess.notifyRound(rec)
 	}
 	finish := func(outcome Outcome) (*ImperfectResult, error) {
 		res.Outcome = outcome
 		if n := len(res.Rounds); n > 0 {
 			res.Final = res.Rounds[n-1]
 		}
+		sess.notifyOutcome(res.Result)
 		return res, nil
 	}
 
 	exploreSrc := src.Split(4)
 	replaySrc := src.Split(5)
 	for T := 1; T <= s.MaxRounds; T++ {
+		if err := checkCtx(ctx, T); err != nil {
+			return nil, err
+		}
 		exploring := T <= cfg.ExplorationRounds
 
 		// ---- Step 2 (data party): estimation-based bundle choice. ----

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -198,8 +199,25 @@ func (r *Result) FinalNetRevenue() (task, data float64) {
 
 // RunPerfect plays Algorithm 1: bargaining under perfect performance
 // information over the catalog, returning the full trace.
+//
+// It is the blocking, observer-free form of Session.RunPerfect, kept for
+// callers that need neither cancellation nor streaming.
 func RunPerfect(cat *Catalog, cfg SessionConfig) (*Result, error) {
-	cfg = cfg.withDefaults()
+	return NewSession(cat, cfg).RunPerfect(context.Background())
+}
+
+// RunPerfect plays Algorithm 1: bargaining under perfect performance
+// information over the session's catalog, returning the full trace. The
+// context is checked between bargaining rounds: once it is cancelled or its
+// deadline passes, the run stops and returns the context's error instead of
+// a Result. Attached observers receive every realized round and the final
+// outcome as they happen.
+func (s *Session) RunPerfect(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cat := s.cat
+	cfg := s.cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -239,6 +257,7 @@ func RunPerfect(cat *Catalog, cfg SessionConfig) (*Result, error) {
 		if n := len(res.Rounds); n > 0 {
 			res.Final = res.Rounds[n-1]
 		}
+		s.notifyOutcome(*res)
 		return res, nil
 	}
 
@@ -250,6 +269,9 @@ func RunPerfect(cat *Catalog, cfg SessionConfig) (*Result, error) {
 	const barrenPatience = 25
 	barren := 0
 	for T := 1; T <= cfg.MaxRounds; T++ {
+		if err := checkCtx(ctx, T); err != nil {
+			return nil, err
+		}
 		// ---- Step 2 (data party): choose a bundle under the quote. ----
 		affordable := cat.Affordable(quote)
 		bundleID := -1
@@ -300,6 +322,7 @@ func RunPerfect(cat *Catalog, cfg SessionConfig) (*Result, error) {
 		gain := cat.Gain(bundleID)
 		rec := record(T, quote, bundleID, gain)
 		res.Rounds = append(res.Rounds, rec)
+		s.notifyRound(rec)
 
 		// Data-party termination (strategic seller only; the random
 		// baseline never reasons about the knee).

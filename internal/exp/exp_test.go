@@ -105,7 +105,7 @@ func TestBuildEnvRealVFL(t *testing.T) {
 }
 
 func TestRunFigure23Shape(t *testing.T) {
-	fig, err := RunFigure23(vfl.RandomForest, fastOpts())
+	fig, err := RunFigure23(t.Context(), vfl.RandomForest, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestFigure23StrategicWins(t *testing.T) {
 	// takes ~60–90 rounds at this scale.
 	opts.Horizon = 200
 	opts.Datasets = []dataset.Name{dataset.Titanic}
-	fig, err := RunFigure23(vfl.RandomForest, opts)
+	fig, err := RunFigure23(t.Context(), vfl.RandomForest, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestFigure23StrategicWins(t *testing.T) {
 func TestRunTable3Shape(t *testing.T) {
 	opts := fastOpts()
 	opts.Datasets = []dataset.Name{dataset.Titanic}
-	t3, err := RunTable3(opts)
+	t3, err := RunTable3(t.Context(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestRunTable4Shape(t *testing.T) {
 	}
 	opts.Datasets = []dataset.Name{dataset.Titanic}
 	opts.Runs = 8
-	t4, err := RunTable4(opts)
+	t4, err := RunTable4(t.Context(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,7 @@ func TestRunFigure4Shape(t *testing.T) {
 	}
 	opts.Runs = 6
 	opts.Datasets = []dataset.Name{dataset.Titanic}
-	f4, err := RunFigure4(opts)
+	f4, err := RunFigure4(t.Context(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +330,7 @@ func TestFormatters(t *testing.T) {
 	opts := fastOpts()
 	opts.Datasets = []dataset.Name{dataset.Titanic}
 	opts.Runs = 6
-	fig, err := RunFigure23(vfl.RandomForest, opts)
+	fig, err := RunFigure23(t.Context(), vfl.RandomForest, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +343,7 @@ func TestFormatters(t *testing.T) {
 	if tab := FormatTable2(RunTable2(1)); len(tab.Rows) != 4 {
 		t.Fatal("Table 2 should have 4 metric rows")
 	}
-	t3, err := RunTable3(opts)
+	t3, err := RunTable3(t.Context(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,7 +352,7 @@ func TestFormatters(t *testing.T) {
 	}
 	t4opts := Table4Options{Options: opts, ExplorationRounds: 20, MaxRounds: 100,
 		Models: []vfl.BaseModel{vfl.RandomForest}}
-	t4, err := RunTable4(t4opts)
+	t4, err := RunTable4(t.Context(), t4opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +362,7 @@ func TestFormatters(t *testing.T) {
 	f4opts := Figure4Options{Options: opts, Rounds: 30, ExplorationRounds: 30,
 		Models: []vfl.BaseModel{vfl.RandomForest}}
 	f4opts.Runs = 3
-	f4, err := RunFigure4(f4opts)
+	f4, err := RunFigure4(t.Context(), f4opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -42,6 +43,10 @@ type Options struct {
 	Horizon    int     // rounds plotted in the series; <= 0 means 80
 	GainSource GainSource
 	Datasets   []dataset.Name // nil means all three
+	// Workers bounds the batch worker pool of the repeated runs; <= 0
+	// means GOMAXPROCS. The worker count never changes results, only
+	// wall-clock time.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -95,8 +100,9 @@ type Figure23 struct {
 // RunFigure23 regenerates Figure 2 (model = vfl.RandomForest) or Figure 3
 // (model = vfl.MLP): for every dataset, 3 strategies × Runs bargaining
 // games from one shared initial state, aggregated into per-round mean/CI
-// series and final-quote densities.
-func RunFigure23(model vfl.BaseModel, opts Options) (*Figure23, error) {
+// series and final-quote densities. Each strategy's runs execute across
+// the Options.Workers pool; ctx cancels between rounds.
+func RunFigure23(ctx context.Context, model vfl.BaseModel, opts Options) (*Figure23, error) {
 	opts = opts.withDefaults()
 	out := &Figure23{Model: model}
 	for _, name := range opts.Datasets {
@@ -116,7 +122,7 @@ func RunFigure23(model vfl.BaseModel, opts Options) (*Figure23, error) {
 		df.ReservedBase = env.Catalog.Bundles[target].Reserved.Base
 
 		for _, label := range AllStrategies() {
-			sf, err := runStrategy(env, label, opts)
+			sf, err := runStrategy(ctx, env, label, opts)
 			if err != nil {
 				return nil, fmt.Errorf("exp: %s/%s: %w", name, label, err)
 			}
@@ -127,21 +133,21 @@ func RunFigure23(model vfl.BaseModel, opts Options) (*Figure23, error) {
 	return out, nil
 }
 
-func runStrategy(env *Env, label StrategyLabel, opts Options) (StrategyFigure, error) {
+func runStrategy(ctx context.Context, env *Env, label StrategyLabel, opts Options) (StrategyFigure, error) {
 	taskS, dataS := label.strategies()
 	sf := StrategyFigure{Label: label}
+	cfgs := env.SessionConfigs(opts.Runs, opts.Seed, func(_ int, cfg *core.SessionConfig) {
+		cfg.TaskStrategy = taskS
+		cfg.DataStrategy = dataS
+	})
+	results, err := env.RunBatch(ctx, cfgs, opts.Workers)
+	if err != nil {
+		return sf, err
+	}
 	var traces [][]core.RoundRecord
 	successes := 0
 	totalRounds := 0
-	for r := 0; r < opts.Runs; r++ {
-		cfg := env.Session
-		cfg.TaskStrategy = taskS
-		cfg.DataStrategy = dataS
-		cfg.Seed = opts.Seed ^ (uint64(r)+1)*0x9e3779b97f4a7c15
-		res, err := core.RunPerfect(env.Catalog, cfg)
-		if err != nil {
-			return sf, err
-		}
+	for _, res := range results {
 		traces = append(traces, res.Rounds)
 		totalRounds += len(res.Rounds)
 		if res.Outcome == core.Success {

@@ -1,8 +1,11 @@
 package exp
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/vfl"
 )
@@ -49,8 +52,9 @@ func (o Figure4Options) withDefaults() Figure4Options {
 // RunFigure4 regenerates Figure 4: for each dataset and base model, run the
 // imperfect-information bargaining with a long exploration phase and record
 // the two estimators' per-round MSE, averaged over runs. Smoothing is left
-// to the consumer; raw means are returned.
-func RunFigure4(opts Figure4Options) (*Figure4, error) {
+// to the consumer; raw means are returned. The context cancels between
+// bargaining rounds.
+func RunFigure4(ctx context.Context, opts Figure4Options) (*Figure4, error) {
 	opts = opts.withDefaults()
 	out := &Figure4{}
 	for _, model := range opts.Models {
@@ -62,22 +66,25 @@ func RunFigure4(opts Figure4Options) (*Figure4, error) {
 				return nil, err
 			}
 			panel := Figure4Panel{Dataset: name, Model: model}
-			taskSeries := make([][]float64, 0, opts.Runs)
-			dataSeries := make([][]float64, 0, opts.Runs)
-			for r := 0; r < opts.Runs; r++ {
+			// Runs execute across the worker pool; each writes its own
+			// slot, keeping the averaged curves deterministic in the seed.
+			taskSeries := make([][]float64, opts.Runs)
+			dataSeries := make([][]float64, opts.Runs)
+			err = core.ForEach(ctx, opts.Runs, opts.Workers, func(ctx context.Context, r int) error {
 				cfg := env.Session
 				cfg.EpsTask, cfg.EpsData = p.EpsImperfect, p.EpsImperfect
 				cfg.MaxRounds = opts.Rounds
-				cfg.Seed = opts.Seed ^ (uint64(r)+1)*0x9e3779b97f4a7c15
-				res, err := core.RunImperfect(env.Catalog, core.ImperfectConfig{
-					Session:           cfg,
-					ExplorationRounds: opts.ExplorationRounds,
-				})
+				cfg.Seed = rng.DeriveSeed(opts.Seed, uint64(r))
+				res, err := core.NewSession(env.Catalog, cfg).RunImperfect(ctx,
+					core.ImperfectParams{ExplorationRounds: opts.ExplorationRounds})
 				if err != nil {
-					return nil, err
+					return err
 				}
-				taskSeries = append(taskSeries, res.TaskMSE)
-				dataSeries = append(dataSeries, res.DataMSE)
+				taskSeries[r], dataSeries[r] = res.TaskMSE, res.DataMSE
+				return nil
+			})
+			if err != nil {
+				return nil, err
 			}
 			panel.TaskMSE = meanAcrossRuns(taskSeries, opts.Rounds)
 			panel.DataMSE = meanAcrossRuns(dataSeries, opts.Rounds)

@@ -5,6 +5,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -212,6 +213,36 @@ func BuildEnv(p Profile, seed uint64) (*Env, error) {
 		return nil, fmt.Errorf("exp: profile %s/%s: %w", p.Name, p.Model, err)
 	}
 	return &Env{Profile: p, Catalog: catalog, Session: session, Oracle: oracle}, nil
+}
+
+// SessionConfigs derives the per-run session configurations of a repeated
+// experiment from the env's template: run r gets the independent seed
+// rng.DeriveSeed(seed, r), then mutate (when non-nil) adjusts the config.
+// The slice feeds RunBatch, so repeated studies are deterministic in seed
+// alone regardless of worker count.
+func (e *Env) SessionConfigs(runs int, seed uint64, mutate func(r int, cfg *core.SessionConfig)) []core.SessionConfig {
+	cfgs := make([]core.SessionConfig, runs)
+	for r := range cfgs {
+		cfg := e.Session
+		cfg.Seed = rng.DeriveSeed(seed, uint64(r))
+		if mutate != nil {
+			mutate(r, &cfg)
+		}
+		cfgs[r] = cfg
+	}
+	return cfgs
+}
+
+// RunBatch plays the session configurations concurrently over the env's
+// catalog with a bounded worker pool (workers <= 0 means GOMAXPROCS),
+// returning results in config order. See core.RunBatch for the error and
+// cancellation contract.
+func (e *Env) RunBatch(ctx context.Context, cfgs []core.SessionConfig, workers int) ([]*core.Result, error) {
+	jobs := make([]core.BatchJob, len(cfgs))
+	for i, cfg := range cfgs {
+		jobs[i] = core.BatchJob{Config: cfg}
+	}
+	return core.RunBatch(ctx, e.Catalog, jobs, workers)
 }
 
 // openingPrice picks the task party's lowball opening quote: it must afford

@@ -5,7 +5,37 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/core"
 )
+
+// RoundPrinter is a core.RoundObserver that renders each bargaining round
+// to W as it happens — the streaming form of the post-hoc trace dumps the
+// CLIs used to print. Every Nth round is shown (Every <= 1 shows all), and
+// the final outcome line always prints.
+//
+// A RoundPrinter observes one session at a time; give concurrent sessions
+// their own printers (or their own writers).
+type RoundPrinter struct {
+	W      io.Writer
+	Prefix string
+	Every  int
+}
+
+// OnRound implements core.RoundObserver.
+func (p *RoundPrinter) OnRound(r core.RoundRecord) {
+	if p.Every > 1 && r.Round%p.Every != 0 {
+		return
+	}
+	fmt.Fprintf(p.W, "%sround %3d: quote(p=%.3g P0=%.3g Ph=%.3g) bundle=%d ΔG=%.4g payment=%.4g net=%.4g\n",
+		p.Prefix, r.Round, r.Price.Rate, r.Price.Base, r.Price.High,
+		r.BundleID, r.Gain, r.Payment, r.NetProfit)
+}
+
+// OnOutcome implements core.RoundObserver.
+func (p *RoundPrinter) OnOutcome(res core.Result) {
+	fmt.Fprintf(p.W, "%s%v after %d rounds\n", p.Prefix, res.Outcome, len(res.Rounds))
+}
 
 // TextTable renders rows as an aligned plain-text table with a header.
 type TextTable struct {

@@ -1,0 +1,18 @@
+package exp
+
+import (
+	"context"
+	"os"
+	"os/signal"
+)
+
+// SignalContext returns a context cancelled by the first interrupt, for the
+// CLI frontends. After that first interrupt the handler is unregistered, so
+// a second Ctrl-C kills the process even while it is inside work that does
+// not check the context (the environment build trains VFL courses; only
+// bargaining rounds poll ctx). stop releases the signal registration.
+func SignalContext() (ctx context.Context, stop context.CancelFunc) {
+	ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt)
+	go func() { <-ctx.Done(); stop() }()
+	return ctx, stop
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -60,7 +61,11 @@ type Sweep struct {
 // RunSweep measures bargaining outcomes across values of one parameter,
 // holding everything else at the dataset profile's defaults. It extends the
 // paper's ε study (Table 3) to the other knobs the model exposes.
-func RunSweep(name dataset.Name, param SweepParam, values []float64, opts Options) (*Sweep, error) {
+//
+// Each value's runs execute concurrently across the Options.Workers pool
+// (results are deterministic in the seed regardless of worker count), and
+// ctx cancels the sweep between bargaining rounds of in-flight sessions.
+func RunSweep(ctx context.Context, name dataset.Name, param SweepParam, values []float64, opts Options) (*Sweep, error) {
 	opts = opts.withDefaults()
 	if len(values) == 0 {
 		return nil, fmt.Errorf("exp: sweep needs at least one value")
@@ -79,12 +84,7 @@ func RunSweep(name dataset.Name, param SweepParam, values []float64, opts Option
 		if err != nil {
 			return nil, err
 		}
-		point := SweepPoint{Value: v}
-		var nets, pays, gains, rounds []float64
-		successes := 0
-		for r := 0; r < opts.Runs; r++ {
-			cfg := env.Session
-			cfg.Seed = opts.Seed ^ (uint64(r)+1)*0x9e3779b97f4a7c15
+		cfgs := env.SessionConfigs(opts.Runs, opts.Seed, func(_ int, cfg *core.SessionConfig) {
 			switch param {
 			case SweepEpsilon:
 				cfg.EpsTask, cfg.EpsData = v, v
@@ -93,13 +93,20 @@ func RunSweep(name dataset.Name, param SweepParam, values []float64, opts Option
 			case SweepUtilityRate:
 				cfg.U = v
 			}
+		})
+		for _, cfg := range cfgs {
 			if err := cfg.Validate(); err != nil {
 				return nil, fmt.Errorf("exp: sweep %s=%v: %w", param, v, err)
 			}
-			res, err := core.RunPerfect(env.Catalog, cfg)
-			if err != nil {
-				return nil, err
-			}
+		}
+		results, err := env.RunBatch(ctx, cfgs, opts.Workers)
+		if err != nil {
+			return nil, err
+		}
+		point := SweepPoint{Value: v}
+		var nets, pays, gains, rounds []float64
+		successes := 0
+		for _, res := range results {
 			if res.Outcome != core.Success {
 				continue
 			}

@@ -19,7 +19,7 @@ func TestSweepParamString(t *testing.T) {
 func TestRunSweepEpsilon(t *testing.T) {
 	opts := fastOpts()
 	opts.Runs = 10
-	s, err := RunSweep(dataset.Titanic, SweepEpsilon, []float64{1e-4, 1e-2}, opts)
+	s, err := RunSweep(t.Context(), dataset.Titanic, SweepEpsilon, []float64{1e-4, 1e-2}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestRunSweepEpsilon(t *testing.T) {
 func TestRunSweepPoolSize(t *testing.T) {
 	opts := fastOpts()
 	opts.Runs = 8
-	s, err := RunSweep(dataset.Titanic, SweepPoolSize, []float64{40, 400}, opts)
+	s, err := RunSweep(t.Context(), dataset.Titanic, SweepPoolSize, []float64{40, 400}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestRunSweepPoolSize(t *testing.T) {
 func TestRunSweepUtilityRate(t *testing.T) {
 	opts := fastOpts()
 	opts.Runs = 6
-	s, err := RunSweep(dataset.Titanic, SweepUtilityRate, []float64{500, 2000}, opts)
+	s, err := RunSweep(t.Context(), dataset.Titanic, SweepUtilityRate, []float64{500, 2000}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestRunSweepUtilityRate(t *testing.T) {
 func TestRunSweepCatalogSize(t *testing.T) {
 	opts := fastOpts()
 	opts.Runs = 5
-	s, err := RunSweep(dataset.Titanic, SweepCatalogSize, []float64{10, 24}, opts)
+	s, err := RunSweep(t.Context(), dataset.Titanic, SweepCatalogSize, []float64{10, 24}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,13 +80,13 @@ func TestRunSweepCatalogSize(t *testing.T) {
 
 func TestRunSweepErrors(t *testing.T) {
 	opts := fastOpts()
-	if _, err := RunSweep(dataset.Titanic, SweepEpsilon, nil, opts); err == nil {
+	if _, err := RunSweep(t.Context(), dataset.Titanic, SweepEpsilon, nil, opts); err == nil {
 		t.Fatal("empty values accepted")
 	}
-	if _, err := RunSweep(dataset.Titanic, SweepCatalogSize, []float64{1}, opts); err == nil {
+	if _, err := RunSweep(t.Context(), dataset.Titanic, SweepCatalogSize, []float64{1}, opts); err == nil {
 		t.Fatal("degenerate catalog size accepted")
 	}
-	if _, err := RunSweep(dataset.Titanic, SweepUtilityRate, []float64{0.0001}, opts); err == nil {
+	if _, err := RunSweep(t.Context(), dataset.Titanic, SweepUtilityRate, []float64{0.0001}, opts); err == nil {
 		t.Fatal("irrational utility rate accepted")
 	}
 }
@@ -94,7 +94,7 @@ func TestRunSweepErrors(t *testing.T) {
 func TestFormatSweep(t *testing.T) {
 	opts := fastOpts()
 	opts.Runs = 4
-	s, err := RunSweep(dataset.Titanic, SweepEpsilon, []float64{1e-3}, opts)
+	s, err := RunSweep(t.Context(), dataset.Titanic, SweepEpsilon, []float64{1e-3}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

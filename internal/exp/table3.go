@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -73,8 +74,9 @@ type Table3 struct {
 
 // RunTable3 regenerates Table 3: the strategic bargaining under the cost
 // grid and both ε values per dataset, with the random-forest base model and
-// shared initial states across all runs (as in §4.3).
-func RunTable3(opts Options) (*Table3, error) {
+// shared initial states across all runs (as in §4.3). Each cell's runs
+// execute across the Options.Workers pool; ctx cancels between rounds.
+func RunTable3(ctx context.Context, opts Options) (*Table3, error) {
 	opts = opts.withDefaults()
 	out := &Table3{}
 	for _, name := range opts.Datasets {
@@ -86,7 +88,7 @@ func RunTable3(opts Options) (*Table3, error) {
 		}
 		for _, eps := range table3Epsilons(name) {
 			for _, cs := range Table3CostGrid() {
-				row, err := runTable3Cell(env, name, cs, eps, opts)
+				row, err := runTable3Cell(ctx, env, name, cs, eps, opts)
 				if err != nil {
 					return nil, fmt.Errorf("exp: table3 %s %s: %w", name, cs.Label, err)
 				}
@@ -97,21 +99,21 @@ func RunTable3(opts Options) (*Table3, error) {
 	return out, nil
 }
 
-func runTable3Cell(env *Env, name dataset.Name, cs CostSetting, eps float64, opts Options) (Table3Row, error) {
+func runTable3Cell(ctx context.Context, env *Env, name dataset.Name, cs CostSetting, eps float64, opts Options) (Table3Row, error) {
 	row := Table3Row{Dataset: name, Cost: cs, Epsilon: eps}
 	model := core.CostModel{Kind: cs.Kind, Factor: cs.Factor, Scale: costScale(name)}
 	shared := core.CostModel{Kind: cs.Kind, Factor: cs.Factor} // unscaled C(T) for reporting
-	var nets, pays, gains, costs []float64
-	successes := 0
-	for r := 0; r < opts.Runs; r++ {
-		cfg := env.Session
+	cfgs := env.SessionConfigs(opts.Runs, opts.Seed, func(_ int, cfg *core.SessionConfig) {
 		cfg.EpsTask, cfg.EpsData = eps, eps
 		cfg.TaskCost, cfg.DataCost = model, model
-		cfg.Seed = opts.Seed ^ (uint64(r)+1)*0x9e3779b97f4a7c15
-		res, err := core.RunPerfect(env.Catalog, cfg)
-		if err != nil {
-			return row, err
-		}
+	})
+	results, err := env.RunBatch(ctx, cfgs, opts.Workers)
+	if err != nil {
+		return row, err
+	}
+	var nets, pays, gains, costs []float64
+	successes := 0
+	for _, res := range results {
 		if res.Outcome != core.Success {
 			continue
 		}

@@ -1,8 +1,11 @@
 package exp
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/rng"
 	"repro/internal/vfl"
 )
 
@@ -56,8 +59,9 @@ func (o Table4Options) withDefaults() Table4Options {
 
 // RunTable4 regenerates Table 4: final p, P0, Ph, Δp, ΔP0, ΔG, net profit
 // and payment under imperfect vs perfect performance information, for both
-// base models and all datasets, with εd = εt set to the §4.4 values.
-func RunTable4(opts Table4Options) (*Table4, error) {
+// base models and all datasets, with εd = εt set to the §4.4 values. The
+// context cancels between bargaining rounds.
+func RunTable4(ctx context.Context, opts Table4Options) (*Table4, error) {
 	opts = opts.withDefaults()
 	out := &Table4{}
 	for _, model := range opts.Models {
@@ -69,7 +73,7 @@ func RunTable4(opts Table4Options) (*Table4, error) {
 				return nil, err
 			}
 			for _, imperfect := range []bool{true, false} {
-				col, err := runTable4Col(env, p, imperfect, opts)
+				col, err := runTable4Col(ctx, env, p, imperfect, opts)
 				if err != nil {
 					return nil, err
 				}
@@ -80,37 +84,44 @@ func RunTable4(opts Table4Options) (*Table4, error) {
 	return out, nil
 }
 
-func runTable4Col(env *Env, p Profile, imperfect bool, opts Table4Options) (Table4Col, error) {
+func runTable4Col(ctx context.Context, env *Env, p Profile, imperfect bool, opts Table4Options) (Table4Col, error) {
 	col := Table4Col{Dataset: p.Name, Model: p.Model, Imperfect: imperfect}
 	target := env.Catalog.TargetBundle(env.Session.TargetGain)
 	reserved := env.Catalog.Bundles[target].Reserved
 
+	// Runs execute across the worker pool; each writes only its own slot,
+	// so aggregation stays deterministic in the seed.
+	finals := make([]core.RoundRecord, opts.Runs)
+	outcomes := make([]core.Outcome, opts.Runs)
+	err := core.ForEach(ctx, opts.Runs, opts.Workers, func(ctx context.Context, r int) error {
+		cfg := env.Session
+		cfg.MaxRounds = opts.MaxRounds
+		cfg.Seed = rng.DeriveSeed(opts.Seed, uint64(r))
+		if imperfect {
+			cfg.EpsTask, cfg.EpsData = p.EpsImperfect, p.EpsImperfect
+			res, err := core.NewSession(env.Catalog, cfg).RunImperfect(ctx,
+				core.ImperfectParams{ExplorationRounds: opts.ExplorationRounds})
+			if err != nil {
+				return err
+			}
+			finals[r], outcomes[r] = res.Final, res.Outcome
+			return nil
+		}
+		res, err := core.NewSession(env.Catalog, cfg).RunPerfect(ctx)
+		if err != nil {
+			return err
+		}
+		finals[r], outcomes[r] = res.Final, res.Outcome
+		return nil
+	})
+	if err != nil {
+		return col, err
+	}
+
 	var rates, bases, highs, dRates, dBases, gains, nets, pays []float64
 	successes := 0
 	for r := 0; r < opts.Runs; r++ {
-		cfg := env.Session
-		cfg.MaxRounds = opts.MaxRounds
-		cfg.Seed = opts.Seed ^ (uint64(r)+1)*0x9e3779b97f4a7c15
-
-		var final core.RoundRecord
-		var outcome core.Outcome
-		if imperfect {
-			cfg.EpsTask, cfg.EpsData = p.EpsImperfect, p.EpsImperfect
-			res, err := core.RunImperfect(env.Catalog, core.ImperfectConfig{
-				Session:           cfg,
-				ExplorationRounds: opts.ExplorationRounds,
-			})
-			if err != nil {
-				return col, err
-			}
-			final, outcome = res.Final, res.Outcome
-		} else {
-			res, err := core.RunPerfect(env.Catalog, cfg)
-			if err != nil {
-				return col, err
-			}
-			final, outcome = res.Final, res.Outcome
-		}
+		final, outcome := finals[r], outcomes[r]
 		if outcome != core.Success {
 			continue
 		}

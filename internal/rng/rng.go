@@ -23,6 +23,18 @@ func New(seed uint64) *Source {
 	return &Source{r: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
 }
 
+// DeriveSeed deterministically mixes a master seed with a stream index into
+// an independent child seed (splitmix64 finalizer). It is the seed-derivation
+// rule batch runners use to give session k of a batch its own stream: results
+// depend only on (master, stream), never on scheduling, so batches replay
+// bit-identically at any worker count.
+func DeriveSeed(master, stream uint64) uint64 {
+	z := master ^ (stream+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Split derives an independent child stream from s and the given label.
 // Splitting with different labels yields streams that are independent for all
 // practical purposes; splitting with the same label twice yields identical

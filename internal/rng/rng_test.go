@@ -316,6 +316,33 @@ func TestChoiceProperty(t *testing.T) {
 	}
 }
 
+func TestDeriveSeedDeterministicAndSpread(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for master := uint64(0); master < 4; master++ {
+		for stream := uint64(0); stream < 256; stream++ {
+			a := DeriveSeed(master, stream)
+			if b := DeriveSeed(master, stream); b != a {
+				t.Fatalf("DeriveSeed(%d,%d) not deterministic: %x vs %x", master, stream, a, b)
+			}
+			if seen[a] {
+				t.Fatalf("DeriveSeed collision at (%d,%d): %x", master, stream, a)
+			}
+			seen[a] = true
+		}
+	}
+	// Derived seeds must actually decorrelate the streams.
+	x, y := New(DeriveSeed(1, 0)), New(DeriveSeed(1, 1))
+	same := 0
+	for i := 0; i < 64; i++ {
+		if x.Uint64() == y.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent derived streams agree on %d/64 draws", same)
+	}
+}
+
 func BenchmarkGauss(b *testing.B) {
 	s := New(1)
 	for i := 0; i < b.N; i++ {

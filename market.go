@@ -1,0 +1,60 @@
+package vflmarket
+
+import "context"
+
+// Market is the original blocking façade over a built environment.
+//
+// Deprecated: use Engine, whose entry points take a context.Context, accept
+// RoundObservers, and add batch execution. Market remains as a thin shim so
+// existing callers keep compiling; every method delegates to an Engine with
+// context.Background().
+type Market struct {
+	e *Engine
+}
+
+// New builds a market for the configured dataset.
+//
+// Deprecated: use NewEngine (or NewEngineFromConfig to keep the struct
+// form).
+func New(cfg Config) (*Market, error) {
+	e, err := NewEngineFromConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Market{e: e}, nil
+}
+
+// Engine returns the context-aware engine behind the façade — the migration
+// path for callers that built a Market but want streaming or batch runs.
+func (m *Market) Engine() *Engine { return m.e }
+
+// Catalog exposes the data party's inventory.
+func (m *Market) Catalog() *Catalog { return m.e.Catalog() }
+
+// Session returns the session template. Callers may adjust a copy and pass
+// it to BargainWith.
+func (m *Market) Session() SessionConfig { return m.e.Session() }
+
+// Bargain plays one perfect-information bargaining game with the template
+// session.
+//
+// Deprecated: use Engine.Bargain.
+func (m *Market) Bargain(opts BargainOptions) (*Result, error) {
+	return m.e.Bargain(context.Background(), opts)
+}
+
+// BargainWith plays one perfect-information game with a fully custom
+// session configuration.
+//
+// Deprecated: use Engine.BargainWith.
+func (m *Market) BargainWith(cfg SessionConfig) (*Result, error) {
+	return m.e.BargainWith(context.Background(), cfg)
+}
+
+// BargainImperfect plays one imperfect-information game (explorationRounds
+// is N of Case VII; 0 means 100).
+//
+// Deprecated: use Engine.BargainImperfect.
+func (m *Market) BargainImperfect(seed uint64, explorationRounds int) (*ImperfectResult, error) {
+	return m.e.BargainImperfect(context.Background(), seed, explorationRounds)
+}

@@ -13,9 +13,16 @@
 //
 // Quick start:
 //
-//	market, err := vflmarket.New(vflmarket.Config{Dataset: "titanic", Seed: 1})
-//	res, err := market.Bargain(vflmarket.BargainOptions{})
+//	engine, err := vflmarket.NewEngine("titanic", vflmarket.WithSeed(1))
+//	res, err := engine.Bargain(ctx, vflmarket.BargainOptions{})
 //	fmt.Println(res.Outcome, res.Final.Payment)
+//
+// An Engine is built once and then runs any number of bargaining sessions,
+// serially or concurrently. Every run entry point takes a context.Context
+// and honors cancellation and deadlines between bargaining rounds; attach
+// RoundObservers to stream per-round progress instead of waiting for the
+// final trace; use Engine.BargainBatch to play many sessions across a
+// bounded worker pool with deterministic per-session randomness.
 //
 // The underlying pieces — the bargaining engines, the VFL simulator, the
 // dataset generators, the experiment harness regenerating every table and
@@ -24,12 +31,7 @@
 package vflmarket
 
 import (
-	"fmt"
-
 	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/exp"
-	"repro/internal/vfl"
 )
 
 // Re-exported pricing and bargaining types. See the core package docs on
@@ -64,6 +66,11 @@ type (
 	GainProvider = core.GainProvider
 	// GainFunc adapts a function to GainProvider.
 	GainFunc = core.GainFunc
+	// RoundObserver streams bargaining progress: OnRound per realized
+	// round, OnOutcome once at termination.
+	RoundObserver = core.RoundObserver
+	// ObserverFuncs adapts plain functions to RoundObserver.
+	ObserverFuncs = core.ObserverFuncs
 )
 
 // Re-exported enum values.
@@ -90,7 +97,9 @@ func EquilibriumPrice(rate, base, targetGain float64) QuotedPrice {
 	return core.EquilibriumPrice(rate, base, targetGain)
 }
 
-// Config selects and sizes a market environment.
+// Config selects and sizes a market environment. It is the struct form of
+// the functional options accepted by NewEngine; New and NewEngineFromConfig
+// take it directly.
 type Config struct {
 	// Dataset is "titanic", "credit", or "adult".
 	Dataset string
@@ -102,95 +111,4 @@ type Config struct {
 	// Scale in (0, 1] shrinks data and model sizes; 0 means 1 (paper scale).
 	Scale float64
 	Seed  uint64
-}
-
-// Market is a built environment: the data party's priced catalog plus the
-// task party's session template.
-type Market struct {
-	env *exp.Env
-}
-
-// New builds a market for the configured dataset: generate data, split it
-// vertically, train (or synthesize) the per-bundle gains, and derive the
-// opening quote and target gain.
-func New(cfg Config) (*Market, error) {
-	name := dataset.Name(cfg.Dataset)
-	switch name {
-	case dataset.Titanic, dataset.Credit, dataset.Adult:
-	case "":
-		name = dataset.Titanic
-	default:
-		return nil, fmt.Errorf("vflmarket: unknown dataset %q", cfg.Dataset)
-	}
-	var model vfl.BaseModel
-	switch cfg.Model {
-	case "", "forest":
-		model = vfl.RandomForest
-	case "mlp":
-		model = vfl.MLP
-	default:
-		return nil, fmt.Errorf("vflmarket: unknown model %q (want \"forest\" or \"mlp\")", cfg.Model)
-	}
-	scale := cfg.Scale
-	if scale == 0 {
-		scale = 1
-	}
-	p := exp.DefaultProfile(name, model).Scaled(scale)
-	if cfg.Synthetic {
-		p.GainSource = exp.GainSynthetic
-	}
-	env, err := exp.BuildEnv(p, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	return &Market{env: env}, nil
-}
-
-// Catalog exposes the data party's inventory.
-func (m *Market) Catalog() *Catalog { return m.env.Catalog }
-
-// Session returns the session template: target gain ΔG* = ΔG_max, the
-// opening quote, paper-default tolerances. Callers may adjust a copy and
-// pass it to BargainWith.
-func (m *Market) Session() SessionConfig { return m.env.Session }
-
-// BargainOptions tweak a standard bargaining run.
-type BargainOptions struct {
-	Seed      uint64
-	TaskGreed core.TaskStrategy // default TaskStrategic
-	DataGreed core.DataStrategy // default DataStrategic
-	TaskCost  CostModel
-	DataCost  CostModel
-}
-
-// Bargain plays one perfect-information bargaining game with the template
-// session.
-func (m *Market) Bargain(opts BargainOptions) (*Result, error) {
-	cfg := m.env.Session
-	cfg.Seed = opts.Seed
-	cfg.TaskStrategy = opts.TaskGreed
-	cfg.DataStrategy = opts.DataGreed
-	cfg.TaskCost = opts.TaskCost
-	cfg.DataCost = opts.DataCost
-	return core.RunPerfect(m.env.Catalog, cfg)
-}
-
-// BargainWith plays one perfect-information game with a fully custom
-// session configuration.
-func (m *Market) BargainWith(cfg SessionConfig) (*Result, error) {
-	return core.RunPerfect(m.env.Catalog, cfg)
-}
-
-// BargainImperfect plays one imperfect-information game: neither party
-// knows bundle gains in advance; both learn estimators online
-// (explorationRounds is N of Case VII; 0 means 100).
-func (m *Market) BargainImperfect(seed uint64, explorationRounds int) (*ImperfectResult, error) {
-	cfg := m.env.Session
-	cfg.Seed = seed
-	cfg.EpsTask = m.env.Profile.EpsImperfect
-	cfg.EpsData = m.env.Profile.EpsImperfect
-	return core.RunImperfect(m.env.Catalog, core.ImperfectConfig{
-		Session:           cfg,
-		ExplorationRounds: explorationRounds,
-	})
 }
