@@ -8,6 +8,7 @@ package vflmarket
 
 import (
 	"context"
+	"net"
 	"strconv"
 	"testing"
 
@@ -244,6 +245,50 @@ func BenchmarkBargainBatch(b *testing.B) {
 				if len(res) != len(specs) {
 					b.Fatalf("results = %d", len(res))
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkServiceRoundTrip measures one full networked bargaining session
+// — dial, handshake, quote/offer/settle rounds, teardown — against a
+// loopback multi-market Server, once per codec. Together with
+// BenchmarkBargainBatch it anchors the perf trajectory in BENCH_PR2.json.
+func BenchmarkServiceRoundTrip(b *testing.B) {
+	engine, err := NewEngine("titanic", WithSynthetic(true), WithScale(0.25), WithSeed(11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer()
+	if err := srv.Register("titanic", engine); err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	defer func() { cancel(); <-done }()
+
+	for _, codec := range []string{CodecGob, CodecJSON} {
+		b.Run(codec, func(b *testing.B) {
+			client, err := Dial(context.Background(), ln.Addr().String(),
+				WithCodec(codec),
+				WithSession(engine.Session()),
+				WithGains(engine.CatalogGains()),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := client.Bargain(context.Background(), BargainOptions{Seed: uint64(i + 1)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = res
 			}
 		})
 	}

@@ -1,0 +1,213 @@
+package vflmarket
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// DialOption configures a Client at Dial time.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	codec       string
+	market      string
+	dialTimeout time.Duration
+	ioTimeout   time.Duration
+	session     *SessionConfig
+	gains       GainProvider
+}
+
+// WithCodec selects the wire framing: CodecGob (default, Go-native) or
+// CodecJSON (interoperable with non-Go task parties).
+func WithCodec(name string) DialOption { return func(c *dialConfig) { c.codec = name } }
+
+// WithMarket names the market to bargain in on a multi-market server. ""
+// (the default) picks the server's default market.
+func WithMarket(name string) DialOption { return func(c *dialConfig) { c.market = name } }
+
+// WithDialTimeout bounds each connection attempt. 0 means no limit beyond
+// the dial context's own deadline.
+func WithDialTimeout(d time.Duration) DialOption { return func(c *dialConfig) { c.dialTimeout = d } }
+
+// WithSessionTimeout bounds every read and write within a session: a
+// stalled server fails the session with an ErrPeerTimeout-wrapped error
+// instead of hanging it. The default is 30 seconds; <= 0 keeps the
+// default.
+func WithSessionTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) {
+		if d > 0 {
+			c.ioTimeout = d
+		}
+	}
+}
+
+// WithSession installs the client's session template — the task party's
+// private parameters (u, budget, target gain, tolerances, seed) that
+// Client.Bargain merges BargainOptions into, exactly as Engine.Bargain
+// does with its engine template. Typically engine.Session() of a local
+// Engine built with the same dataset and seed as the server's.
+func WithSession(cfg SessionConfig) DialOption {
+	return func(c *dialConfig) { cp := cfg; c.session = &cp }
+}
+
+// WithGains installs the client's gain provider: the task party's side of
+// Step 3, realizing the VFL course for each offered bundle. Typically
+// engine.CatalogGains() of a local Engine when both parties pre-trained
+// with the third party, or a live trainer in production.
+func WithGains(g GainProvider) DialOption { return func(c *dialConfig) { c.gains = g } }
+
+// Client is the task party's connection point to a market Server. A Client
+// is cheap, immutable and safe for concurrent use: every Bargain call
+// dials its own connection and runs one full session on it, mirroring
+// Engine.Bargain's contract (options merging over the template session,
+// observers, cancellation between rounds) over the network.
+type Client struct {
+	addr  string
+	cfg   dialConfig
+	hello *wire.Hello
+}
+
+// Dial validates the service at addr and returns a Client bound to it: it
+// connects once in listing mode to fetch the server's markets, bundle
+// listing, and settlement mode (failing fast on unknown markets or codec
+// mismatches), then disconnects. Subsequent Bargain calls dial per
+// session.
+func Dial(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := dialConfig{codec: CodecGob, ioTimeout: 30 * time.Second}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	c := &Client{addr: addr, cfg: cfg}
+	hello, err := c.probe(ctx)
+	if err != nil {
+		return nil, err
+	}
+	c.hello = hello
+	return c, nil
+}
+
+// probe runs one listing-only handshake.
+func (c *Client) probe(ctx context.Context) (*wire.Hello, error) {
+	conn, err := c.dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
+	defer stop()
+	_, hello, err := wire.ClientHandshake(wire.WithIOTimeout(conn, c.cfg.ioTimeout), c.cfg.codec, c.cfg.market, true)
+	if err != nil {
+		return nil, fmt.Errorf("vflmarket: dial %s: %w", c.addr, err)
+	}
+	return hello, nil
+}
+
+func (c *Client) dial(ctx context.Context) (net.Conn, error) {
+	d := net.Dialer{Timeout: c.cfg.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("vflmarket: dial %s: %w", c.addr, err)
+	}
+	return conn, nil
+}
+
+// Market returns the resolved market name this client bargains in.
+func (c *Client) Market() string { return c.hello.Market }
+
+// Markets lists every market the server serves.
+func (c *Client) Markets() []string { return append([]string(nil), c.hello.Markets...) }
+
+// Listing returns the market's public bundle listing (features only; the
+// reserved prices stay private to the data party).
+func (c *Client) Listing() []BundleInfo { return append([]BundleInfo(nil), c.hello.Bundles...) }
+
+// Secure reports whether the server settles under Paillier encryption; the
+// client handles either mode transparently.
+func (c *Client) Secure() bool { return c.hello.Secure }
+
+// Bargain plays one bargaining session against the server with the dial
+// template session (WithSession), cancellable between rounds through ctx.
+// It mirrors Engine.Bargain exactly: BargainOptions merge onto the
+// template the same way, observers stream the same rounds and outcome, and
+// — because the networked client runs the identical game loop — the Result
+// is bit-identical to the in-process one for the same seed and catalog
+// (for the default strategic strategies, whose randomness is all
+// task-party-side).
+func (c *Client) Bargain(ctx context.Context, opts BargainOptions) (*Result, error) {
+	if c.cfg.session == nil {
+		return nil, fmt.Errorf("vflmarket: Bargain needs a session template: Dial with WithSession")
+	}
+	// Data-party behavior lives on the server: its strategy and cost model
+	// come from the engine registered there, not from this call. Rejecting
+	// the options beats silently bargaining against a different seller
+	// than the caller asked for.
+	if opts.DataGreed != DataStrategic || opts.DataCost != (CostModel{}) {
+		return nil, fmt.Errorf("vflmarket: data-party options (DataGreed, DataCost) are server-side over the wire; configure them on the server's engine")
+	}
+	cfg := mergeBargainOptions(*c.cfg.session, opts)
+	return c.BargainWith(ctx, cfg, c.cfg.gains, opts.Observers...)
+}
+
+// BargainWith plays one session with a fully custom session configuration,
+// mirroring Engine.BargainWith. gains may be nil when the Client was
+// dialed with WithGains.
+func (c *Client) BargainWith(ctx context.Context, cfg SessionConfig, gains GainProvider, obs ...RoundObserver) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if gains == nil {
+		gains = c.cfg.gains
+	}
+	if gains == nil {
+		return nil, fmt.Errorf("vflmarket: bargaining needs a gain provider: Dial with WithGains")
+	}
+	conn, err := c.dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	// Poking the deadline on cancellation unblocks any in-flight read, so
+	// the session's between-round ctx check fires promptly.
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
+	defer stop()
+
+	tconn := wire.WithIOTimeout(conn, c.cfg.ioTimeout)
+	codec, hello, err := wire.ClientHandshake(tconn, c.cfg.codec, c.cfg.market, false)
+	if err != nil {
+		return nil, wrapCtx(ctx, err)
+	}
+	tc := &wire.TaskClient{Session: cfg, Gains: gains, Observers: toCoreObservers(obs)}
+	res, err := tc.BargainCodec(ctx, codec, hello)
+	if err != nil {
+		return nil, wrapCtx(ctx, err)
+	}
+	return res, nil
+}
+
+// wrapCtx prefers the context's cause when a transport error was really a
+// cancellation (the deadline poke makes cancelled reads look like
+// timeouts).
+func wrapCtx(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return fmt.Errorf("vflmarket: bargaining abandoned: %w", context.Cause(ctx))
+	}
+	return err
+}
+
+func toCoreObservers(obs []RoundObserver) []core.RoundObserver {
+	out := make([]core.RoundObserver, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			out = append(out, o)
+		}
+	}
+	return out
+}

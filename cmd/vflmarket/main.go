@@ -6,9 +6,16 @@
 // so long negotiations show progress live; Ctrl-C cancels the session
 // between rounds.
 //
+// With -connect the session bargains against a running market service
+// (cmd/serve) instead of in-process: the local engine supplies the task
+// party's session template and pre-trained gains, the server plays the
+// data party. The trace and outcome are bit-identical to the in-process
+// run for the same seed when both sides were built alike.
+//
 // Usage:
 //
 //	go run ./cmd/vflmarket -dataset titanic [-model forest] [-imperfect] [-seed 1]
+//	go run ./cmd/vflmarket -connect 127.0.0.1:7070 -market credit [-codec json]
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro"
 	"repro/internal/exp"
@@ -32,14 +40,32 @@ func main() {
 	imperfect := flag.Bool("imperfect", false, "bargain under imperfect performance information")
 	explore := flag.Int("explore", 60, "exploration rounds N (imperfect only)")
 	verbose := flag.Bool("v", false, "stream every round as it is played")
+	connect := flag.String("connect", "", "bargain against a market service at this address instead of in-process")
+	market := flag.String("market", "", "market name on the service (default: the server's default market)")
+	codec := flag.String("codec", vflmarket.CodecGob, "wire codec with -connect: gob or json")
+	engineSeed := flag.Uint64("engineseed", 1, "with -connect: the server's engine seed (the local market view must mirror the server's -seed/-scale/-model/-synthetic); -seed then only picks the bargaining stream")
 	flag.Parse()
 
 	ctx, stop := exp.SignalContext()
 	defer stop()
 
+	if *market != "" && *connect == "" {
+		log.Fatal("-market requires -connect")
+	}
+	buildSeed := *seed
+	if *connect != "" {
+		// The local engine is only the task party's view of the server's
+		// market: it must be built exactly like the server's engine, while
+		// -seed stays free to pick the bargaining stream.
+		buildSeed = *engineSeed
+		if *market != "" {
+			*ds = *market
+		}
+	}
+
 	engine, err := vflmarket.NewEngine(*ds,
 		vflmarket.WithModel(*model),
-		vflmarket.WithSeed(*seed),
+		vflmarket.WithSeed(buildSeed),
 		vflmarket.WithScale(*scale),
 		vflmarket.WithSynthetic(*synthetic),
 	)
@@ -65,7 +91,34 @@ func main() {
 	var rounds []vflmarket.RoundRecord
 	var outcome vflmarket.Outcome
 	var final vflmarket.RoundRecord
-	if *imperfect {
+	if *connect != "" {
+		if *imperfect {
+			log.Fatal("-imperfect is not supported over -connect (the wire protocol plays perfect information)")
+		}
+		client, err := vflmarket.Dial(ctx, *connect,
+			vflmarket.WithMarket(*market),
+			vflmarket.WithCodec(*codec),
+			vflmarket.WithDialTimeout(5*time.Second),
+			vflmarket.WithSession(session),
+			vflmarket.WithGains(engine.CatalogGains()),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if client.Market() != *ds {
+			// Without -market the server resolves its own default, which
+			// must match the dataset the local template was built from.
+			log.Fatalf("server resolved market %q but the local engine models %q; pass -market %s",
+				client.Market(), *ds, client.Market())
+		}
+		fmt.Printf("Connected: market %q of %v (%s codec, secure=%v)\n\n",
+			client.Market(), client.Markets(), *codec, client.Secure())
+		res, err := client.Bargain(ctx, vflmarket.BargainOptions{Seed: *seed, Observers: observers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rounds, outcome, final = res.Rounds, res.Outcome, res.Final
+	} else if *imperfect {
 		res, err := engine.BargainImperfect(ctx, *seed, *explore, observers...)
 		if err != nil {
 			log.Fatal(err)

@@ -87,6 +87,30 @@ func NewEngineFromConfig(cfg Config) (*Engine, error) {
 // Catalog exposes the data party's inventory.
 func (e *Engine) Catalog() *Catalog { return e.env.Catalog }
 
+// CatalogGains returns a GainProvider that resolves a feature set to its
+// pre-computed gain in this engine's catalog (0 for unknown bundles). It
+// is the task party's Step 3 stand-in when both parties pre-trained every
+// bundle with the trusted third party — the natural gain provider for a
+// networked Client bargaining against a server built from the same
+// dataset and seed.
+func (e *Engine) CatalogGains() GainProvider {
+	cat := e.env.Catalog
+	return core.GainFunc(func(features []int) float64 {
+		if id, ok := cat.FindBundle(features); ok {
+			return cat.Gain(id)
+		}
+		return 0
+	})
+}
+
+// seedIsSet reports whether a seed option was explicitly given. Across the
+// public API, a zero seed means "inherit or derive": BargainOptions.Seed 0
+// keeps the template seed, BatchSpec.Seed 0 falls through to the spec's
+// session seed and then to a seed derived from BatchOptions.Seed and the
+// spec index. Every "is this seed set" check routes through here so the
+// convention lives in one place.
+func seedIsSet(seed uint64) bool { return seed != 0 }
+
 // Session returns the session template: target gain ΔG* = ΔG_max, the
 // opening quote, paper-default tolerances. Callers may adjust a copy and
 // pass it to BargainWith or a BatchSpec.
@@ -97,7 +121,11 @@ func (e *Engine) Session() SessionConfig { return e.env.Session }
 // SessionConfig defaults), so a zero BargainOptions plays the template
 // session unchanged.
 type BargainOptions struct {
-	Seed      uint64            // 0 keeps the template seed
+	// Seed sets the session's random stream. By the API-wide convention, 0
+	// means "inherit": the template session's own seed stays in effect (see
+	// seedIsSet). To play the zero-seed stream explicitly, set the seed on
+	// a SessionConfig and use BargainWith.
+	Seed      uint64
 	TaskGreed core.TaskStrategy // default: the template strategy (TaskStrategic)
 	DataGreed core.DataStrategy // default: the template strategy (DataStrategic)
 	TaskCost  CostModel         // zero value keeps the template cost model
@@ -110,7 +138,7 @@ type BargainOptions struct {
 // session. Unset (zero-valued) options leave the template untouched rather
 // than zeroing it, so template defaults survive a partial BargainOptions.
 func mergeBargainOptions(tmpl SessionConfig, opts BargainOptions) SessionConfig {
-	if opts.Seed != 0 {
+	if seedIsSet(opts.Seed) {
 		tmpl.Seed = opts.Seed
 	}
 	if opts.TaskGreed != TaskStrategic {
@@ -157,8 +185,9 @@ func (e *Engine) BargainImperfect(ctx context.Context, seed uint64, explorationR
 type BatchSpec struct {
 	// Session overrides the engine's template session when non-nil.
 	Session *SessionConfig
-	// Seed overrides the session seed. When 0, the session keeps its own
-	// seed if set, and otherwise derives one from BatchOptions.Seed and the
+	// Seed overrides the session seed. By the API-wide convention (see
+	// seedIsSet), 0 means "inherit/derive": the session keeps its own seed
+	// if set, and otherwise gets one derived from BatchOptions.Seed and the
 	// spec's index — giving every session of the batch an independent,
 	// scheduling-free random stream.
 	Seed uint64
@@ -193,9 +222,9 @@ func (e *Engine) BargainBatch(ctx context.Context, specs []BatchSpec, opts Batch
 		if sp.Session != nil {
 			cfg = *sp.Session
 		}
-		if sp.Seed != 0 {
+		if seedIsSet(sp.Seed) {
 			cfg.Seed = sp.Seed
-		} else if cfg.Seed == 0 {
+		} else if !seedIsSet(cfg.Seed) {
 			cfg.Seed = rng.DeriveSeed(opts.Seed, uint64(i))
 		}
 		jobs[i] = core.BatchJob{Config: cfg, Observer: sp.Observer}

@@ -1,108 +1,111 @@
-// Networked market: the data party serves its catalog on a TCP socket, the
-// task party connects and bargains over the wire — the two-organisation
-// deployment shape the paper's production setting implies. Settlement runs
-// under Paillier encryption (§3.6), so the realized performance gain never
-// crosses the connection in clear.
+// Networked market: one multi-market server process serves two named
+// engines ("titanic" and "credit") behind a single listener — the
+// two-organisation deployment shape the paper's production setting implies,
+// scaled to a service. Two task-party clients connect concurrently, one per
+// market, one speaking gob and one JSON (the codec-agnostic wire format
+// that opens the service to non-Go parties). Settlement runs under Paillier
+// encryption (§3.6), so the realized performance gains never cross the
+// connection in clear — and each client's trace is bit-identical to what an
+// in-process engine run with the same seed would produce.
 //
 //	go run ./examples/networked
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
+	"sync"
 
 	"repro"
-	"repro/internal/wire"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 
-	// Build the market environment (the data party's side of the world).
-	engine, err := vflmarket.NewEngine("titanic",
-		vflmarket.WithSynthetic(true),
-		vflmarket.WithSeed(21),
-	)
-	if err != nil {
-		log.Fatal(err)
-	}
-	session := engine.Session()
-
-	// The data party listens; secure settlement with a 256-bit-prime
-	// Paillier key (demo size).
-	server, err := wire.NewDataServer(engine.Catalog(), session.EpsData, true, 256)
-	if err != nil {
-		log.Fatal(err)
-	}
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer l.Close()
-	fmt.Printf("Data party listening on %s (catalog: %d bundles, Paillier settlement on)\n",
-		l.Addr(), engine.Catalog().Len())
-
-	serverDone := make(chan *wire.SessionSummary, 1)
-	go func() {
-		conn, err := l.Accept()
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer conn.Close()
-		sum, err := server.ServeConn(conn)
-		if err != nil {
-			log.Fatal(err)
-		}
-		serverDone <- sum
-	}()
-
-	// The task party connects and drives the negotiation. Its gain provider
-	// realizes the VFL course for each offered bundle; here the market's
-	// catalog gains stand in (both parties pre-trained via the third party).
-	conn, err := net.Dial("tcp", l.Addr().String())
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer conn.Close()
-	client := &wire.TaskClient{
-		Session: session,
-		Gains: vflmarket.GainFunc(func(features []int) float64 {
-			// Look the bundle up in the shared pre-trained gains.
-			for i, b := range engine.Catalog().Bundles {
-				if equalSets(b.Features, features) {
-					return engine.Catalog().Gain(i)
-				}
+	// ---- The data party: one server, two markets, encrypted settlement.
+	srv := vflmarket.NewServer(
+		vflmarket.WithSecureSettlement(256), // demo-sized Paillier primes
+		vflmarket.WithSessionHook(func(ev vflmarket.SessionEvent) {
+			if ev.Summary != nil {
+				fmt.Printf("  [server] %s session: closed=%v rounds=%d decrypted payment=%.4f\n",
+					ev.Market, ev.Summary.Closed, ev.Summary.Rounds, ev.Summary.Payment)
 			}
-			return 0
 		}),
+	)
+	engines := map[string]*vflmarket.Engine{}
+	for _, name := range []string{"titanic", "credit"} {
+		engine, err := vflmarket.NewEngine(name,
+			vflmarket.WithSynthetic(true),
+			vflmarket.WithSeed(21),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engines[name] = engine
+		if err := srv.Register(name, engine); err != nil {
+			log.Fatal(err)
+		}
 	}
-	res, err := client.Bargain(conn)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	sum := <-serverDone
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx, ln) }()
+	fmt.Printf("Market service on %s: markets %v, Paillier settlement on\n\n", ln.Addr(), srv.Markets())
 
-	fmt.Printf("\nTask party view:  %v after %d rounds, ΔG=%.4f, expects to pay %.4f\n",
-		res.Outcome, len(res.Rounds), res.Final.Gain, res.Final.Payment)
-	fmt.Printf("Data party view:  closed=%v after %d rounds, decrypted payment %.4f\n",
-		sum.Closed, sum.Rounds, sum.Payment)
-	fmt.Println("\nThe data party learned only the payment; the per-round ΔG values")
+	// ---- Two task parties bargain concurrently, one per market. Each
+	// builds its own engine view of the market (same dataset and seed) for
+	// its private session template and pre-trained gains.
+	var wg sync.WaitGroup
+	for _, tc := range []struct{ market, codec string }{
+		{"titanic", vflmarket.CodecGob},
+		{"credit", vflmarket.CodecJSON},
+	} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			engine := engines[tc.market]
+			client, err := vflmarket.Dial(ctx, ln.Addr().String(),
+				vflmarket.WithMarket(tc.market),
+				vflmarket.WithCodec(tc.codec),
+				vflmarket.WithSession(engine.Session()),
+				vflmarket.WithGains(engine.CatalogGains()),
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := client.Bargain(ctx, vflmarket.BargainOptions{Seed: 7})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  [client] %s over %s: %v after %d rounds, ΔG=%.4f, expects to pay %.4f\n",
+				tc.market, tc.codec, res.Outcome, len(res.Rounds), res.Final.Gain, res.Final.Payment)
+
+			// The same seed in-process reproduces the networked trace
+			// bit for bit: the wire client runs the identical game loop.
+			local, err := engine.Bargain(context.Background(), vflmarket.BargainOptions{Seed: 7})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if local.Outcome != res.Outcome || local.Final != res.Final {
+				log.Fatalf("%s: networked result diverged from the in-process engine:\n  wire:   %v %+v\n  engine: %v %+v",
+					tc.market, res.Outcome, res.Final, local.Outcome, local.Final)
+			}
+			fmt.Printf("  [client] %s: networked result matches the in-process engine exactly\n", tc.market)
+		}()
+	}
+	wg.Wait()
+
+	cancel()
+	<-serveDone
+	m := srv.Metrics()
+	fmt.Printf("\nServer metrics: %d sessions, %d closed, %d failed\n", m.Sessions, m.Closed, m.Failed)
+	fmt.Println("The data party learned only the payments; the per-round ΔG values")
 	fmt.Println("crossed the wire exclusively as Paillier ciphertexts.")
-}
-
-func equalSets(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	seen := make(map[int]bool, len(a))
-	for _, v := range a {
-		seen[v] = true
-	}
-	for _, v := range b {
-		if !seen[v] {
-			return false
-		}
-	}
-	return true
 }

@@ -35,7 +35,8 @@ func (f GainFunc) Gain(features []int) float64 { return f(features) }
 // information setting) gains.
 type Catalog struct {
 	Bundles []Bundle
-	gains   []float64 // parallel to Bundles
+	gains   []float64      // parallel to Bundles
+	byKey   map[string]int // canonical feature key → bundle index
 }
 
 // CatalogConfig controls catalog generation.
@@ -125,6 +126,7 @@ func NewCatalog(numFeatures int, cfg CatalogConfig, src *rng.Source, gains GainP
 	for i, b := range cat.Bundles {
 		cat.gains[i] = gains.Gain(b.Features)
 	}
+	cat.buildIndex()
 	return cat
 }
 
@@ -137,11 +139,34 @@ func NewCatalogFromBundles(bundles []Bundle, gains GainProvider) *Catalog {
 		cat.Bundles[i].ID = i
 		cat.gains[i] = gains.Gain(cat.Bundles[i].Features)
 	}
+	cat.buildIndex()
 	return cat
 }
 
+func (c *Catalog) buildIndex() {
+	c.byKey = make(map[string]int, len(c.Bundles))
+	for i, b := range c.Bundles {
+		c.byKey[featureKey(b.Features)] = i
+	}
+}
+
+// featureKey canonicalizes a feature set into a map key.
+func featureKey(features []int) string { return fmt.Sprint(sortedCopy(features)) }
+
 // Len returns the number of bundles.
 func (c *Catalog) Len() int { return len(c.Bundles) }
+
+// FindBundle returns the id of the bundle with exactly this feature set
+// (order-insensitive), or ok=false when the catalog does not carry it.
+// Protocol frontends use it to resolve a peer's offered feature set back to
+// a local bundle; the lookup is O(|features|) through a prebuilt index.
+func (c *Catalog) FindBundle(features []int) (id int, ok bool) {
+	id, ok = c.byKey[featureKey(features)]
+	if !ok {
+		return -1, false
+	}
+	return id, true
+}
 
 // Gain returns the (third-party pre-computed) performance gain of bundle id.
 func (c *Catalog) Gain(id int) float64 { return c.gains[id] }
@@ -287,7 +312,7 @@ func NewSyntheticGains(numFeatures int, maxGain, noiseFrac float64, src *rng.Sou
 // the same value (the noise is memoized), matching the determinism of a
 // cached third-party evaluation.
 func (s *SyntheticGains) Gain(features []int) float64 {
-	key := fmt.Sprint(sortedCopy(features))
+	key := featureKey(features)
 	if g, ok := s.memo[key]; ok {
 		return g
 	}

@@ -213,44 +213,98 @@ func RunPerfect(cat *Catalog, cfg SessionConfig) (*Result, error) {
 // a Result. Attached observers receive every realized round and the final
 // outcome as they happen.
 func (s *Session) RunPerfect(ctx context.Context) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	cat := s.cat
-	cfg := s.cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
 	if cat.Len() == 0 {
 		return nil, fmt.Errorf("core: empty catalog")
 	}
-	src := rng.New(cfg.Seed)
-	res := &Result{TargetBundleID: cat.TargetBundle(cfg.TargetGain)}
+	run, err := s.preparePerfect()
+	if err != nil {
+		return nil, err
+	}
+	seller := &catalogSeller{cat: cat, cfg: run.cfg, src: run.src}
+	realize := func(o SellerOffer) float64 { return cat.Gain(o.BundleID) }
+	return s.bargain(ctx, run, seller, realize, cat.TargetBundle(run.cfg.TargetGain))
+}
 
+// RunPerfectWith plays the task party's side of Algorithm 1 against an
+// arbitrary Seller — typically a network peer speaking the wire protocol —
+// realizing each offered bundle's gain through gains. It is the exact same
+// game loop as RunPerfect (same candidate-pool derivation from the session
+// seed, same termination precedence), so for sessions whose randomness is
+// purely task-party-side (the default strategic strategies) the Result is
+// bit-identical to an in-process run over the seller's catalog.
+//
+// Result.TargetBundleID is filled from the seller's offers when the seller
+// provides the hint, and is -1 otherwise.
+func (s *Session) RunPerfectWith(ctx context.Context, seller Seller, gains GainProvider) (*Result, error) {
+	if gains == nil {
+		return nil, fmt.Errorf("core: RunPerfectWith needs a gain provider")
+	}
+	run, err := s.preparePerfect()
+	if err != nil {
+		return nil, err
+	}
+	realize := func(o SellerOffer) float64 { return gains.Gain(o.Features) }
+	return s.bargain(ctx, run, seller, realize, -1)
+}
+
+// perfectRun is the prepared state of one perfect-information game: the
+// defaulted configuration, the session's random stream, and the task
+// party's pre-sampled candidate quote pool.
+type perfectRun struct {
+	cfg     SessionConfig
+	src     *rng.Source
+	pool    []QuotedPrice
+	opening QuotedPrice
+}
+
+// preparePerfect defaults and validates the session configuration and
+// derives the random stream and candidate pool exactly as every perfect
+// run does — the stream consumption order is part of a seed's contract.
+func (s *Session) preparePerfect() (perfectRun, error) {
+	cfg := s.cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return perfectRun{}, err
+	}
 	quote := EquilibriumPrice(cfg.InitRate, cfg.InitBase, cfg.TargetGain)
 	if quote.High > cfg.Budget {
-		return nil, fmt.Errorf("core: initial quote ceiling %v exceeds budget %v", quote.High, cfg.Budget)
+		return perfectRun{}, fmt.Errorf("core: initial quote ceiling %v exceeds budget %v", quote.High, cfg.Budget)
 	}
+	src := rng.New(cfg.Seed)
 	// Algorithm 1 line 16: the strategic task party samples its candidate
 	// quote set up-front (all satisfying Eq. 5) and escalates through it in
 	// ascending-ceiling order, offering "the rest of the candidate price
 	// offers" round by round.
 	var pool []QuotedPrice
-	poolIdx := 0
 	if cfg.TaskStrategy == TaskStrategic || cfg.TaskStrategy == TaskBisection {
 		pool = samplePricePool(cfg, cfg.PriceSamples, src.Split(0x9001))
 		sort.Slice(pool, func(i, j int) bool { return pool[i].High < pool[j].High })
 	}
+	return perfectRun{cfg: cfg, src: src, pool: pool, opening: quote}, nil
+}
+
+// bargain is the task party's game loop of Algorithm 1, played against any
+// Seller. It owns rounds, records, observers, termination precedence, and
+// quote escalation; the seller owns bundle selection and its own Case 2/3
+// commitments.
+func (s *Session) bargain(ctx context.Context, run perfectRun, seller Seller,
+	realize func(SellerOffer) float64, targetBundle int) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := run.cfg
+	res := &Result{TargetBundleID: targetBundle}
+	quote := run.opening
+	poolIdx := 0
 
 	record := func(T int, q QuotedPrice, bundleID int, gain float64) RoundRecord {
-		rec := RoundRecord{
+		return RoundRecord{
 			Round: T, Price: q, BundleID: bundleID, Gain: gain,
 			Payment:   q.Payment(gain),
 			NetProfit: cfg.U*gain - q.Payment(gain),
 			TaskCost:  cfg.TaskCost.At(T),
 			DataCost:  cfg.DataCost.At(T),
 		}
-		return rec
 	}
 	finish := func(outcome Outcome) (*Result, error) {
 		res.Outcome = outcome
@@ -260,6 +314,9 @@ func (s *Session) RunPerfect(ctx context.Context) (*Result, error) {
 		s.notifyOutcome(*res)
 		return res, nil
 	}
+	// Abandon is best-effort: the walk-away outcome is decided locally, so
+	// a failure to notify the seller does not change it.
+	abandon := func(T int) { _ = seller.Abandon(T) }
 
 	// barren counts consecutive rounds in which the data party had nothing
 	// it could rationally offer. The first such round terminates the game
@@ -273,44 +330,22 @@ func (s *Session) RunPerfect(ctx context.Context) (*Result, error) {
 			return nil, err
 		}
 		// ---- Step 2 (data party): choose a bundle under the quote. ----
-		affordable := cat.Affordable(quote)
-		bundleID := -1
-		switch {
-		case len(affordable) == 0:
-			// Case 1 territory: nothing satisfies the reserved prices.
-		case cfg.DataStrategy == DataRandomBundle:
-			bundleID = affordable[src.IntN(len(affordable))]
-		default:
-			// The objective functions are mutually known (§3.3), so the
-			// strategic data party knows u and never offers a bundle whose
-			// gain sits below the Case 4 break-even — such an offer could
-			// only end the game with zero payment (the deterrence role
-			// §3.4.3 ascribes to Case 4).
-			viable := affordable[:0:0]
-			breakEven := BreakEvenGain(cfg.U, quote)
-			for _, id := range affordable {
-				if cat.Gain(id) >= breakEven {
-					viable = append(viable, id)
-				}
-			}
-			if len(viable) > 0 {
-				target := quote.TargetGain()
-				if id, ok := cat.ClosestBelow(viable, target); ok {
-					bundleID = id
-				} else {
-					// Every viable gain exceeds the knee: the cheapest
-					// overshooting bundle still earns the full ceiling.
-					bundleID, _ = cat.ClosestAbove(viable, target)
-				}
-			}
+		offer, err := seller.Offer(T, quote)
+		if err != nil {
+			return nil, fmt.Errorf("core: round %d offer: %w", T, err)
 		}
-		if bundleID < 0 {
+		if res.TargetBundleID < 0 && offer.TargetBundleID >= 0 {
+			res.TargetBundleID = offer.TargetBundleID
+		}
+		if offer.Fail {
 			barren++
 			if T == 1 || barren > barrenPatience {
+				abandon(T)
 				return finish(FailData) // Case 1
 			}
-			next, ok := nextQuote(cfg, quote, pool, &poolIdx, src)
+			next, ok := nextQuote(cfg, quote, run.pool, &poolIdx, run.src)
 			if !ok {
+				abandon(T)
 				return finish(FailMaxRounds)
 			}
 			quote = next
@@ -319,47 +354,45 @@ func (s *Session) RunPerfect(ctx context.Context) (*Result, error) {
 		barren = 0
 
 		// ---- Step 3: the VFL course realizes the gain. ----
-		gain := cat.Gain(bundleID)
-		rec := record(T, quote, bundleID, gain)
+		gain := realize(offer)
+		rec := record(T, quote, offer.BundleID, gain)
 		res.Rounds = append(res.Rounds, rec)
 		s.notifyRound(rec)
 
-		// Data-party termination (strategic seller only; the random
-		// baseline never reasons about the knee).
-		if cfg.DataStrategy == DataStrategic {
-			slack := quote.TargetGain() - gain
-			switch {
-			case slack <= cfg.EpsData:
-				// Case 2: the offer sits at the knee — accept.
-				return finish(Success)
-			case dataAcceptsUnderCost(cat, quote, gain, cfg.DataCost, T, cfg.EpsDataC):
-				// Case 3 with cost: holding out will not pay for itself.
-				return finish(Success)
-			}
-		}
-
-		// ---- Step 1 of the next round (task party): react to ΔG. ----
-		if gain < BreakEvenGain(cfg.U, quote) {
+		// Termination precedence: the seller's commitment (Cases 2/3)
+		// closes the deal before the task party's own checks; then Case 4
+		// (walk away), Case 5 (target met), Case 6 under cost.
+		decision, outcome := SettleContinue, Success
+		switch {
+		case offer.Accept:
+			decision = SettleAccept
+		case gain < BreakEvenGain(cfg.U, quote):
 			// Case 4: negative net profit — walk away.
-			return finish(FailTask)
-		}
-		if gain >= quote.TargetGain()-cfg.EpsTask {
+			decision, outcome = SettleFail, FailTask
+		case gain >= quote.TargetGain()-cfg.EpsTask:
 			// Case 5: the target is met — pay.
-			return finish(Success)
-		}
-		if taskAcceptsUnderCost(cfg.U, quote, gain, cfg.TaskCost, T, cfg.EpsTaskC) {
+			decision = SettleAccept
+		case taskAcceptsUnderCost(cfg.U, quote, gain, cfg.TaskCost, T, cfg.EpsTaskC):
 			// Case 6 with cost: further rounds cannot recoup their cost.
-			return finish(Success)
+			decision = SettleAccept
+		}
+		if err := seller.Settle(T, rec, decision); err != nil {
+			return nil, fmt.Errorf("core: round %d settlement: %w", T, err)
+		}
+		if decision != SettleContinue {
+			return finish(outcome)
 		}
 		// Case 6: escalate the quote.
-		next, ok := nextQuote(cfg, quote, pool, &poolIdx, src)
+		next, ok := nextQuote(cfg, quote, run.pool, &poolIdx, run.src)
 		if !ok {
 			// The budget cannot support a better quote; the game stalls and
 			// the transaction fails by round exhaustion.
+			abandon(T)
 			return finish(FailMaxRounds)
 		}
 		quote = next
 	}
+	abandon(cfg.MaxRounds)
 	return finish(FailMaxRounds)
 }
 
@@ -411,19 +444,6 @@ func nextQuote(cfg SessionConfig, cur QuotedPrice, pool []QuotedPrice, poolIdx *
 		}
 		return cur, false
 	}
-}
-
-// SamplePricePool draws a task party's Eq. 5-conforming candidate quote set
-// for the session configuration, sorted by ascending ceiling — the offer
-// sequence of Algorithm 1 line 16. Exported for protocol frontends (the
-// wire client) that drive bargaining outside RunPerfect.
-func SamplePricePool(cfg SessionConfig, seed uint64) []QuotedPrice {
-	cfg = cfg.withDefaults()
-	// Identical stream derivation to RunPerfect, so a protocol frontend
-	// with the same seed escalates through the same quotes.
-	pool := samplePricePool(cfg, cfg.PriceSamples, rng.New(seed).Split(0x9001))
-	sort.Slice(pool, func(i, j int) bool { return pool[i].High < pool[j].High })
-	return pool
 }
 
 // samplePricePool draws the task party's up-front candidate quote set:

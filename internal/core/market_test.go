@@ -353,25 +353,6 @@ func TestBisectionProbesAreMonotone(t *testing.T) {
 	}
 }
 
-func TestSamplePricePoolExported(t *testing.T) {
-	cat := testCatalog(t, 6, 49)
-	cfg := sessionFor(cat, 49)
-	pool := SamplePricePool(cfg, 3)
-	if len(pool) == 0 {
-		t.Fatal("empty pool")
-	}
-	for i := 1; i < len(pool); i++ {
-		if pool[i].High < pool[i-1].High {
-			t.Fatal("pool not sorted by ceiling")
-		}
-	}
-	for _, q := range pool {
-		if d := q.TargetGain() - cfg.TargetGain; d > 1e-9 || d < -1e-9 {
-			t.Fatalf("pool quote violates Eq. 5: %v", q.TargetGain())
-		}
-	}
-}
-
 func TestRunPerfectRejectsBadConfig(t *testing.T) {
 	cat := testCatalog(t, 4, 41)
 	cfg := sessionFor(cat, 41)

@@ -94,12 +94,12 @@ func TestBuildEnvRealVFL(t *testing.T) {
 	}
 	// Catalog construction must have trained each surviving bundle at most
 	// once (plus the baseline and any withdrawn bundles) — never more.
-	if env.Oracle.Trainings < env.Catalog.Len()+1 {
-		t.Fatalf("oracle trainings = %d, want >= %d", env.Oracle.Trainings, env.Catalog.Len()+1)
+	if env.Oracle.Trainings() < env.Catalog.Len()+1 {
+		t.Fatalf("oracle trainings = %d, want >= %d", env.Oracle.Trainings(), env.Catalog.Len()+1)
 	}
-	before := env.Oracle.Trainings
+	before := env.Oracle.Trainings()
 	env.Catalog.Gain(0) // cached lookups must not retrain
-	if env.Oracle.Trainings != before {
+	if env.Oracle.Trainings() != before {
 		t.Fatal("catalog gain lookup retrained")
 	}
 }

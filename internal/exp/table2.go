@@ -66,7 +66,7 @@ func RunGainCacheAblation(name dataset.Name, model vfl.BaseModel, scale float64,
 	}
 	return &GainCacheAblation{
 		Rounds:             len(res.Rounds),
-		TrainingsWithCache: env.Oracle.Trainings,
+		TrainingsWithCache: env.Oracle.Trainings(),
 		// Without memoization: the catalog pre-training, the baseline, and a
 		// fresh VFL course every bargaining round.
 		TrainingsWithout: env.Oracle.CacheSize() + 1 + len(res.Rounds),

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/metrics"
@@ -258,15 +259,23 @@ func BundleKey(features []int) string {
 // paper's trustworthy third party: both market participants can query the
 // gain of a bundle without touching the other side's raw features, and each
 // distinct bundle is trained at most once.
+//
+// An oracle is safe for concurrent use: the memo and training counters are
+// mutex-guarded, so several engines or environments may be built from one
+// oracle at once (concurrent cache misses on the same bundle may each train
+// it, with the last result winning — trainings are deterministic in the
+// config seed, so the value is the same either way).
 type GainOracle struct {
-	Problem  *Problem
-	Config   Config
+	Problem *Problem
+	Config  Config
+
+	mu       sync.Mutex
 	baseline float64
 	hasBase  bool
 	cache    map[string]float64
-	// Trainings counts actual (non-cached) VFL courses, for the ablation
+	// trainings counts actual (non-cached) VFL courses, for the ablation
 	// bench quantifying what caching saves.
-	Trainings int
+	trainings int
 }
 
 // NewGainOracle builds an oracle over a problem and training config.
@@ -285,13 +294,19 @@ func (o *GainOracle) repeats() int {
 // Baseline returns the isolated-training accuracy M0 (averaged over the
 // configured repeats), training it on first use.
 func (o *GainOracle) Baseline() float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.baselineLocked()
+}
+
+func (o *GainOracle) baselineLocked() float64 {
 	if !o.hasBase {
 		sum := 0.0
 		for i := 0; i < o.repeats(); i++ {
 			cfg := o.Config
 			cfg.Seed = o.Config.Seed + uint64(i)*101
 			sum += o.Problem.TrainIsolated(cfg).Accuracy
-			o.Trainings++
+			o.trainings++
 		}
 		o.baseline = sum / float64(o.repeats())
 		o.hasBase = true
@@ -303,6 +318,8 @@ func (o *GainOracle) Baseline() float64 {
 // training the VFL courses only on a cache miss.
 func (o *GainOracle) Gain(features []int) float64 {
 	key := BundleKey(features)
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	if g, ok := o.cache[key]; ok {
 		return g
 	}
@@ -311,12 +328,24 @@ func (o *GainOracle) Gain(features []int) float64 {
 		cfg := o.Config
 		cfg.Seed = o.Config.Seed + uint64(i)*101
 		sum += o.Problem.TrainVFL(cfg, features).Accuracy
-		o.Trainings++
+		o.trainings++
 	}
-	g := metrics.PerformanceGain(sum/float64(o.repeats()), o.Baseline())
+	g := metrics.PerformanceGain(sum/float64(o.repeats()), o.baselineLocked())
 	o.cache[key] = g
 	return g
 }
 
+// Trainings returns the number of actual (non-cached) training courses run
+// so far.
+func (o *GainOracle) Trainings() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.trainings
+}
+
 // CacheSize returns the number of memoized bundles.
-func (o *GainOracle) CacheSize() int { return len(o.cache) }
+func (o *GainOracle) CacheSize() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.cache)
+}

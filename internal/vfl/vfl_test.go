@@ -182,12 +182,12 @@ func TestGainOracleCaches(t *testing.T) {
 	p := smallProblem(t, 300)
 	o := NewGainOracle(p, fastRF())
 	g1 := o.Gain([]int{1, 2})
-	trainings := o.Trainings
+	trainings := o.Trainings()
 	g2 := o.Gain([]int{2, 1}) // same bundle, different order
 	if g1 != g2 {
 		t.Fatalf("cached gain differs: %v vs %v", g1, g2)
 	}
-	if o.Trainings != trainings {
+	if o.Trainings() != trainings {
 		t.Fatal("cache miss on identical bundle")
 	}
 	if o.CacheSize() != 1 {
@@ -203,9 +203,9 @@ func TestGainOracleBaselineTrainedOnce(t *testing.T) {
 	p := smallProblem(t, 300)
 	o := NewGainOracle(p, fastRF())
 	b1 := o.Baseline()
-	n := o.Trainings
+	n := o.Trainings()
 	b2 := o.Baseline()
-	if b1 != b2 || o.Trainings != n {
+	if b1 != b2 || o.Trainings() != n {
 		t.Fatal("baseline retrained")
 	}
 }

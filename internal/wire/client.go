@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"context"
+	"crypto/rand"
+	"math/big"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/secure"
+)
+
+// TaskClient is the task party endpoint: it drives the negotiation with the
+// strategic quote escalation and termination Cases 4–6, playing the exact
+// game loop of the in-process engine (core.Session.RunPerfectWith) over the
+// wire.
+type TaskClient struct {
+	Session core.SessionConfig
+	// Gains realizes the VFL course for an offered bundle (the task party's
+	// side of Step 3).
+	Gains core.GainProvider
+	// Observers stream the session's realized rounds and outcome, exactly
+	// as in-process observers do.
+	Observers []core.RoundObserver
+	// IOTimeout bounds every read and write on connections passed to
+	// Bargain, surfacing a stalled server as an ErrPeerTimeout-wrapped
+	// error. 0 means no deadline.
+	IOTimeout time.Duration
+}
+
+// Bargain runs one full legacy (v1) session over the connection and
+// returns the result trace: gob framing, server-first Hello, no handshake.
+func (t *TaskClient) Bargain(conn net.Conn) (*core.Result, error) {
+	return t.BargainContext(context.Background(), conn)
+}
+
+// BargainContext is Bargain with cancellation between bargaining rounds.
+func (t *TaskClient) BargainContext(ctx context.Context, conn net.Conn) (*core.Result, error) {
+	if err := t.Session.Validate(); err != nil {
+		return nil, err
+	}
+	l := newCodec(WithIOTimeout(conn, t.IOTimeout))
+	he, err := l.recv(KindHello)
+	if err != nil {
+		return nil, err
+	}
+	return t.BargainCodec(ctx, l.c, he.Hello)
+}
+
+// BargainCodec runs the session over an established codec after the
+// server's Hello has been received — the entry point for the v2 handshake
+// flow, where the frontend negotiated codec and market first.
+func (t *TaskClient) BargainCodec(ctx context.Context, c Codec, hello *Hello) (*core.Result, error) {
+	var reporter *secure.TaskReporter
+	if hello.Secure {
+		n := new(big.Int).SetBytes(hello.PubN)
+		pk := &secure.PublicKey{N: n, N2: new(big.Int).Mul(n, n)}
+		reporter = secure.NewTaskReporter(pk, rand.Reader)
+	}
+	seller := &remoteSeller{
+		l:        link{c},
+		reporter: reporter,
+		u:        t.Session.U,
+		target:   t.Session.TargetGain,
+	}
+	sess := core.NewSession(nil, t.Session).Observe(t.Observers...)
+	return sess.RunPerfectWith(ctx, seller, t.Gains)
+}
+
+// remoteSeller adapts the wire protocol's data party to core.Seller: each
+// Offer sends a Quote and waits for the server's bundle, each Settle
+// reports the decision (with the gain in clear, or the Eq. 2 payment under
+// Paillier), and Abandon is the clean walk-away notice.
+type remoteSeller struct {
+	l        link
+	reporter *secure.TaskReporter
+	u        float64
+	target   float64
+}
+
+func (r *remoteSeller) Offer(round int, q core.QuotedPrice) (core.SellerOffer, error) {
+	err := r.l.send(&Envelope{Kind: KindQuote, Quote: &Quote{
+		Round: round, Rate: q.Rate, Base: q.Base, High: q.High,
+		U: r.u, Target: r.target,
+	}})
+	if err != nil {
+		return core.SellerOffer{}, err
+	}
+	e, err := r.l.recv(KindOffer)
+	if err != nil {
+		return core.SellerOffer{}, err
+	}
+	o := e.Offer
+	return core.SellerOffer{
+		BundleID: o.BundleID, Features: o.Features,
+		Accept: o.Accept, Fail: o.Fail, Reason: o.Reason,
+		TargetBundleID: o.TargetBundleID,
+	}, nil
+}
+
+func (r *remoteSeller) Settle(round int, rec core.RoundRecord, d core.SettleDecision) error {
+	st := &Settle{Round: round, Decision: decisionOf(d)}
+	if r.reporter != nil {
+		rep, err := r.reporter.Report(rec.Price.Rate, rec.Price.Base, rec.Price.High, rec.Gain)
+		if err != nil {
+			return err
+		}
+		st.EncPayment = rep.EncPayment.C.Bytes()
+	} else {
+		st.Gain = rec.Gain
+	}
+	return r.l.send(&Envelope{Kind: KindSettle, Settle: st})
+}
+
+func (r *remoteSeller) Abandon(round int) error {
+	return r.l.send(&Envelope{Kind: KindSettle, Settle: &Settle{Round: round, Decision: DecisionFail}})
+}

@@ -1,0 +1,294 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+)
+
+// Codec names accepted in the v2 handshake preamble.
+const (
+	CodecGob  = "gob"  // Go-native, compact (the default)
+	CodecJSON = "json" // newline-delimited JSON, for non-Go task parties
+)
+
+// ErrPeerTimeout marks a session that died because the peer stalled past
+// the connection's IO deadline: errors.Is(err, ErrPeerTimeout) on any
+// session error distinguishes a vanished or wedged peer from a protocol
+// violation.
+var ErrPeerTimeout = errors.New("wire: peer timed out")
+
+// Codec frames protocol envelopes on a connection. Implementations are not
+// safe for concurrent use; the protocol is strictly half-duplex per
+// session.
+type Codec interface {
+	// Name returns the handshake name of the codec ("gob", "json").
+	Name() string
+	Send(e *Envelope) error
+	Recv() (*Envelope, error)
+}
+
+// NewCodec builds the named codec over a reader/writer pair (usually the
+// two ends of one net.Conn, with the reader possibly buffered by the
+// handshake).
+func NewCodec(name string, r io.Reader, w io.Writer) (Codec, error) {
+	switch name {
+	case CodecGob:
+		return &gobCodec{enc: gob.NewEncoder(w), dec: gob.NewDecoder(r)}, nil
+	case CodecJSON:
+		return &jsonCodec{enc: json.NewEncoder(w), dec: json.NewDecoder(r)}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown codec %q (have %s)", name, strings.Join(CodecNames(), ", "))
+	}
+}
+
+// CodecNames lists the supported codec names.
+func CodecNames() []string { return []string{CodecGob, CodecJSON} }
+
+type gobCodec struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func (c *gobCodec) Name() string { return CodecGob }
+
+func (c *gobCodec) Send(e *Envelope) error { return c.enc.Encode(e) }
+
+func (c *gobCodec) Recv() (*Envelope, error) {
+	var e Envelope
+	if err := c.dec.Decode(&e); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+type jsonCodec struct {
+	enc *json.Encoder
+	dec *json.Decoder
+}
+
+func (c *jsonCodec) Name() string { return CodecJSON }
+
+func (c *jsonCodec) Send(e *Envelope) error { return c.enc.Encode(e) }
+
+func (c *jsonCodec) Recv() (*Envelope, error) {
+	var e Envelope
+	if err := c.dec.Decode(&e); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// link wraps a Codec with the session-level framing rules: kind checking,
+// peer-error unwrapping, and timeout classification.
+type link struct {
+	c Codec
+}
+
+// newCodec builds the legacy v1 link over a connection: gob framing, no
+// handshake.
+func newCodec(conn net.Conn) link {
+	c, _ := NewCodec(CodecGob, conn, conn)
+	return link{c: c}
+}
+
+func (l link) send(e *Envelope) error {
+	if err := l.c.Send(e); err != nil {
+		return classify(fmt.Errorf("wire: send %v: %w", e.Kind, err))
+	}
+	return nil
+}
+
+func (l link) recv(want Kind) (*Envelope, error) { return l.recvAny(want) }
+
+// recvAny receives the next envelope and checks it is one of the wanted
+// kinds. A KindError envelope surfaces as an error regardless of wants.
+func (l link) recvAny(wants ...Kind) (*Envelope, error) {
+	e, err := l.c.Recv()
+	if err != nil {
+		return nil, classify(fmt.Errorf("wire: recv: %w", err))
+	}
+	if e.Kind == KindError {
+		msg := "unspecified"
+		if e.Err != nil {
+			msg = e.Err.Msg
+		}
+		return nil, fmt.Errorf("wire: peer rejected the session: %s", msg)
+	}
+	for _, w := range wants {
+		if e.Kind == w {
+			if payloadMissing(e) {
+				return nil, fmt.Errorf("wire: %v envelope without payload", e.Kind)
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("wire: got message kind %v, want %v", e.Kind, wants)
+}
+
+// payloadMissing reports a well-framed envelope whose kind-matching payload
+// pointer is nil — a malformed peer that must fail the session cleanly
+// rather than panic it on dereference.
+func payloadMissing(e *Envelope) bool {
+	switch e.Kind {
+	case KindHello:
+		return e.Hello == nil
+	case KindQuote:
+		return e.Quote == nil
+	case KindOffer:
+		return e.Offer == nil
+	case KindSettle:
+		return e.Settle == nil
+	case KindClientHello:
+		return e.Client == nil
+	default:
+		return false
+	}
+}
+
+// classify tags IO timeouts with ErrPeerTimeout so callers can tell a
+// stalled peer from a protocol violation.
+func classify(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %v", ErrPeerTimeout, err)
+	}
+	return err
+}
+
+// deadlineConn arms a read/write deadline before every conn operation, so
+// a stalled or vanished peer surfaces as a net.Error timeout instead of a
+// hung session.
+type deadlineConn struct {
+	net.Conn
+	d time.Duration
+}
+
+func (c deadlineConn) Read(p []byte) (int, error) {
+	if err := c.Conn.SetReadDeadline(time.Now().Add(c.d)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c deadlineConn) Write(p []byte) (int, error) {
+	if err := c.Conn.SetWriteDeadline(time.Now().Add(c.d)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+// WithIOTimeout wraps the connection so every read and write must make
+// progress within d, surfacing stalls as net.Error timeouts (classified as
+// ErrPeerTimeout by the protocol endpoints). d <= 0 returns the connection
+// unchanged.
+func WithIOTimeout(conn net.Conn, d time.Duration) net.Conn {
+	if d <= 0 {
+		return conn
+	}
+	return deadlineConn{Conn: conn, d: d}
+}
+
+// handshakeMagic opens every v2 connection, followed by the codec name and
+// a newline.
+const handshakeMagic = "VFLM/2"
+
+// maxHandshakeLen bounds the preamble line so garbage connections fail
+// fast.
+const maxHandshakeLen = 64
+
+// WriteHandshake sends the v2 preamble naming the codec the client will
+// speak.
+func WriteHandshake(w io.Writer, codecName string) error {
+	if _, err := fmt.Fprintf(w, "%s %s\n", handshakeMagic, codecName); err != nil {
+		return classify(fmt.Errorf("wire: handshake: %w", err))
+	}
+	return nil
+}
+
+// ReadHandshake consumes the v2 preamble and returns the codec name the
+// client announced.
+func ReadHandshake(br *bufio.Reader) (codecName string, err error) {
+	line, err := readLine(br, maxHandshakeLen)
+	if err != nil {
+		return "", classify(fmt.Errorf("wire: handshake: %w", err))
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 2 || fields[0] != handshakeMagic {
+		return "", fmt.Errorf("wire: handshake: bad preamble %q", line)
+	}
+	return fields[1], nil
+}
+
+func readLine(br *bufio.Reader, max int) (string, error) {
+	var b strings.Builder
+	for b.Len() <= max {
+		c, err := br.ReadByte()
+		if err != nil {
+			return "", err
+		}
+		if c == '\n' {
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+	}
+	return "", fmt.Errorf("preamble exceeds %d bytes", max)
+}
+
+// AcceptHandshake performs the server side of the v2 opening on a fresh
+// connection: read the preamble, build the codec, and receive the
+// ClientHello. The returned codec must be used for everything that
+// follows (its reader owns the connection's buffered bytes).
+func AcceptHandshake(conn net.Conn) (Codec, *ClientHello, error) {
+	br := bufio.NewReader(conn)
+	name, err := ReadHandshake(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := NewCodec(name, br, conn)
+	if err != nil {
+		return nil, nil, err
+	}
+	e, err := link{c}.recv(KindClientHello)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, e.Client, nil
+}
+
+// ClientHandshake performs the client side of the v2 opening: preamble,
+// ClientHello, and the server's Hello (or its rejection, surfaced as an
+// error).
+func ClientHandshake(conn net.Conn, codecName, market string, listOnly bool) (Codec, *Hello, error) {
+	if err := WriteHandshake(conn, codecName); err != nil {
+		return nil, nil, err
+	}
+	c, err := NewCodec(codecName, conn, conn)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := link{c}
+	err = l.send(&Envelope{Kind: KindClientHello, Client: &ClientHello{
+		Version: ProtocolVersion, Market: market, ListOnly: listOnly,
+	}})
+	if err != nil {
+		return nil, nil, err
+	}
+	e, err := l.recv(KindHello)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, e.Hello, nil
+}
+
+// SendError sends a rejection envelope (best effort; the caller closes the
+// connection afterwards).
+func SendError(c Codec, format string, args ...any) {
+	_ = c.Send(&Envelope{Kind: KindError, Err: &ErrorMsg{Msg: fmt.Sprintf(format, args...)}})
+}

@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func sampleEnvelopes() []*Envelope {
+	return []*Envelope{
+		{Kind: KindClientHello, Client: &ClientHello{Version: 2, Market: "titanic", ListOnly: true}},
+		{Kind: KindHello, Hello: &Hello{
+			Version: 2, Market: "credit", Markets: []string{"titanic", "credit"},
+			Bundles: []BundleInfo{{ID: 0, Features: []int{0, 2}}},
+			Secure:  true, PubN: []byte{1, 2, 3},
+		}},
+		{Kind: KindQuote, Quote: &Quote{Round: 3, Rate: 1.25, Base: 0.5, High: 2.75, U: 1000, Target: 0.125}},
+		{Kind: KindOffer, Offer: &Offer{BundleID: 4, Features: []int{1, 3}, Accept: true, TargetBundleID: 7}},
+		{Kind: KindOffer, Offer: &Offer{BundleID: -1, Fail: true, Reason: "Case 1", TargetBundleID: 2}},
+		{Kind: KindSettle, Settle: &Settle{Round: 3, Decision: DecisionAccept, Gain: 0.1119}},
+		{Kind: KindError, Err: &ErrorMsg{Msg: "unknown market"}},
+	}
+}
+
+// TestCodecsRoundTripEnvelopes: every envelope shape must survive both
+// codecs bit-exactly (floats included — both gob and Go's JSON encoder
+// round-trip float64 exactly).
+func TestCodecsRoundTripEnvelopes(t *testing.T) {
+	for _, name := range CodecNames() {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			c, err := NewCodec(name, &buf, &buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range sampleEnvelopes() {
+				if err := c.Send(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, want := range sampleEnvelopes() {
+				got, err := c.Recv()
+				if err != nil {
+					t.Fatalf("recv %v: %v", want.Kind, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("round-trip mismatch:\ngot  %+v\nwant %+v", got, want)
+				}
+			}
+		})
+	}
+	if _, err := NewCodec("xml", nil, nil); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHandshake(&buf, CodecJSON); err != nil {
+		t.Fatal(err)
+	}
+	name, err := ReadHandshake(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != CodecJSON {
+		t.Fatalf("codec = %q", name)
+	}
+
+	for _, bad := range []string{"", "HTTP/1.1 GET /\n", "VFLM/1 gob\n", "VFLM/2 gob json extra\n",
+		"VFLM/2 " + string(bytes.Repeat([]byte("x"), 100)) + "\n"} {
+		if _, err := ReadHandshake(bufio.NewReader(bytes.NewBufferString(bad))); err == nil {
+			t.Fatalf("bad preamble %q accepted", bad)
+		}
+	}
+}
+
+// TestServeConnTimesOutOnStalledClient is the deadline fix: a client that
+// connects and then goes silent must fail the session with an
+// ErrPeerTimeout-classified error instead of hanging ServeConn forever.
+func TestServeConnTimesOutOnStalledClient(t *testing.T) {
+	cat, cfg, _ := buildMarket(t, 61)
+	srv, err := NewDataServer(cat, cfg.EpsData, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.IOTimeout = 50 * time.Millisecond
+
+	clientConn, serverConn := net.Pipe()
+	defer clientConn.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		defer serverConn.Close()
+		_, err := srv.ServeConn(serverConn)
+		errCh <- err
+	}()
+	// Read the Hello, then stall without ever quoting.
+	if _, err := newCodec(clientConn).recv(KindHello); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrPeerTimeout) {
+			t.Fatalf("err = %v, want ErrPeerTimeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server hung on a stalled client despite IOTimeout")
+	}
+}
+
+// TestClientTimesOutOnStalledServer is the client-side mirror: a server
+// that never answers the first quote must not hang Bargain.
+func TestClientTimesOutOnStalledServer(t *testing.T) {
+	_, cfg, gains := buildMarket(t, 67)
+	clientConn, serverConn := net.Pipe()
+	defer serverConn.Close()
+	go func() {
+		// Say hello, then go silent (swallow the client's quote).
+		l := newCodec(serverConn)
+		l.send(&Envelope{Kind: KindHello, Hello: &Hello{}}) //nolint:errcheck
+		l.recv(KindQuote)                                   //nolint:errcheck
+	}()
+	client := &TaskClient{Session: cfg, Gains: gains, IOTimeout: 50 * time.Millisecond}
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Bargain(clientConn)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrPeerTimeout) {
+			t.Fatalf("err = %v, want ErrPeerTimeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client hung on a stalled server despite IOTimeout")
+	}
+	clientConn.Close()
+}

@@ -1,0 +1,180 @@
+// Package wire runs the bargaining market as an actual two-endpoint network
+// protocol: the data party serves its catalog behind a listener, the task
+// party connects and drives the negotiation. It is the deployment shape the
+// paper's production setting implies — two organisations, one connection —
+// with the same strategies and termination cases as the in-process engine,
+// plus the §3.6 option of settling payments under Paillier encryption so
+// the realized ΔG never crosses the wire in clear.
+//
+// Protocol (codec-framed envelopes over one connection):
+//
+//	v2 handshake:
+//	  client → server  "VFLM/2 <codec>\n"      (ASCII preamble naming the codec)
+//	  client → server  ClientHello{version, market, listOnly}
+//	server → client  Hello{market, listing, optional public key} | Error
+//	loop:
+//	  client → server  Quote{p, P0, Ph}
+//	  server → client  Offer{bundle} | Offer{Fail}      (Cases 1–3)
+//	  client → server  Settle{ΔG or Enc(payment), decision}  (Cases 4–6)
+//	                   (a Settle sent instead of a Quote is a clean walk-away)
+//
+// The legacy v1 endpoints (DataServer.ServeConn, TaskClient.Bargain) skip
+// the handshake and speak gob with a server-first Hello, exactly as before.
+// Envelope framing is codec-agnostic (see Codec): gob for Go peers, JSON
+// for everyone else.
+package wire
+
+import (
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// ProtocolVersion is the current wire protocol version, carried in
+// ClientHello and echoed in Hello.
+const ProtocolVersion = 2
+
+// Kind discriminates protocol envelopes.
+type Kind int
+
+// Protocol message kinds.
+const (
+	KindHello Kind = iota + 1
+	KindQuote
+	KindOffer
+	KindSettle
+	KindClientHello
+	KindError
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindQuote:
+		return "quote"
+	case KindOffer:
+		return "offer"
+	case KindSettle:
+		return "settle"
+	case KindClientHello:
+		return "client-hello"
+	case KindError:
+		return "error"
+	default:
+		return "kind(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// BundleInfo is the public listing entry of one bundle: its identity and
+// feature composition, never the reserved price or the data itself.
+type BundleInfo struct {
+	ID       int
+	Features []int
+}
+
+// ClientHello opens a v2 session: the task party names the protocol
+// version it speaks and the market it wants to bargain in.
+type ClientHello struct {
+	// Version is the client's protocol version (ProtocolVersion).
+	Version int
+	// Market selects the engine on a multi-market server; "" picks the
+	// server's default (first registered) market.
+	Market string
+	// ListOnly asks for the Hello (markets, listing, key) without opening a
+	// bargaining session; the server answers and closes.
+	ListOnly bool
+}
+
+// Hello announces a session: the data party publishes its listing and, when
+// the session settles securely, its Paillier public key. v2 servers also
+// name the resolved market and every market they serve.
+type Hello struct {
+	// Version is the server's protocol version (0 on legacy v1 endpoints).
+	Version int
+	// Market is the resolved market name ("" on legacy v1 endpoints).
+	Market string
+	// Markets lists every market the server serves.
+	Markets []string
+	Bundles []BundleInfo
+	Secure  bool
+	PubN    []byte // Paillier modulus when Secure
+}
+
+// Quote is the task party's round offer. U is the task party's utility
+// rate, which §3.3 of the paper assumes is mutually known; the data party
+// needs it for its Case 4-aware offer filter.
+type Quote struct {
+	Round            int
+	Rate, Base, High float64
+	U                float64
+	// Target is the task party's exact target gain ΔG* (v2; legacy clients
+	// leave it 0 and the server derives it from the quote's knee).
+	Target float64
+}
+
+// Offer is the data party's response.
+type Offer struct {
+	BundleID int
+	Features []int
+	// Accept is the data party's Case 2 close: it commits to this bundle at
+	// the quoted price.
+	Accept bool
+	// Fail is the Case 1 walkout: nothing satisfies the quote.
+	Fail   bool
+	Reason string
+	// TargetBundleID is the catalog bundle closest to the buyer's target
+	// gain — the hint that fills core.Result.TargetBundleID on the client
+	// (-1 or 0-valued on legacy servers that never set it on Fail offers).
+	TargetBundleID int
+}
+
+// Decision is the task party's settlement verdict.
+type Decision int
+
+// Task-party settlement decisions.
+const (
+	DecisionContinue Decision = iota // Case 6: escalate next round
+	DecisionAccept                   // Case 5: pay and close
+	DecisionFail                     // Case 4: walk away
+)
+
+// Settle reports the VFL course's outcome back to the data party. In clear
+// mode it carries the realized ΔG; in secure mode only the encrypted Eq. 2
+// payment. A Settle sent in place of a Quote is a clean walk-away notice
+// (the buyer leaves without a settlement).
+type Settle struct {
+	Round      int
+	Decision   Decision
+	Gain       float64 // clear mode only
+	EncPayment []byte  // secure mode: Paillier ciphertext of the payment
+}
+
+// ErrorMsg is a server-side rejection (unknown market, unsupported
+// version); the connection closes after it.
+type ErrorMsg struct {
+	Msg string
+}
+
+// Envelope is the single wire frame.
+type Envelope struct {
+	Kind   Kind
+	Hello  *Hello       `json:",omitempty"`
+	Quote  *Quote       `json:",omitempty"`
+	Offer  *Offer       `json:",omitempty"`
+	Settle *Settle      `json:",omitempty"`
+	Client *ClientHello `json:",omitempty"`
+	Err    *ErrorMsg    `json:",omitempty"`
+}
+
+func decisionOf(d core.SettleDecision) Decision {
+	switch d {
+	case core.SettleAccept:
+		return DecisionAccept
+	case core.SettleFail:
+		return DecisionFail
+	default:
+		return DecisionContinue
+	}
+}

@@ -1,0 +1,215 @@
+package wire
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/secure"
+)
+
+// DataServer is the data party endpoint: it owns the catalog (with the
+// third-party pre-computed gains) and answers quotes with the strategic
+// bundle policy and termination Cases 1–3.
+type DataServer struct {
+	Catalog *core.Catalog
+	// EpsData is εd of Case 2.
+	EpsData float64
+	// Secure enables Paillier settlement: the server generates a key pair
+	// per construction and publishes the public key in Hello.
+	Secure bool
+	// MaxRounds guards against runaway clients. <= 0 means 1000.
+	MaxRounds int
+	// IOTimeout bounds every read and write on connections handled by
+	// ServeConn, so a stalled or vanished client ends the session with an
+	// ErrPeerTimeout-wrapped error instead of hanging it forever. 0 means
+	// no deadline (callers serving pre-wrapped connections through
+	// ServeCodec apply their own).
+	IOTimeout time.Duration
+	// DataCost and EpsDataC enable the Eq. 6 cost-aware acceptance (Case 3)
+	// on the server, mirroring SessionConfig.DataCost/EpsDataC in-process.
+	DataCost core.CostModel
+	EpsDataC float64
+	// OnRound, when non-nil, observes every realized round from the
+	// server's side: the quote, the offered bundle, and — in clear
+	// settlement mode — the reported gain and payment (zero under Paillier;
+	// that is the point). Sessions served concurrently share the hook, so
+	// it must be safe for concurrent use.
+	OnRound func(rec core.RoundRecord)
+
+	priv *secure.PrivateKey
+
+	listingOnce sync.Once
+	listing     []BundleInfo
+}
+
+// NewDataServer builds a server over the catalog. keyBits sizes the
+// Paillier primes when secureMode is on (256 is fine for tests and demos).
+func NewDataServer(cat *core.Catalog, epsData float64, secureMode bool, keyBits int) (*DataServer, error) {
+	s := &DataServer{Catalog: cat, EpsData: epsData, Secure: secureMode}
+	if secureMode {
+		priv, err := secure.GenerateKey(rand.Reader, keyBits)
+		if err != nil {
+			return nil, err
+		}
+		s.priv = priv
+	}
+	return s, nil
+}
+
+// SessionSummary is what the server records about one completed session.
+type SessionSummary struct {
+	// Rounds counts the realized bargaining rounds (quotes that drew a
+	// bundle offer), matching len(Result.Rounds) on the client.
+	Rounds   int
+	Closed   bool // true when the transaction succeeded
+	BundleID int
+	Payment  float64 // the settled payment (decrypted in secure mode)
+}
+
+// Hello builds the server's announcement: the public listing and, in
+// secure mode, the Paillier public key. Callers serving the v2 protocol
+// fill the Version/Market/Markets fields before sending. The listing is
+// built once per server (the catalog is immutable) and shared across
+// concurrent sessions; receivers must not mutate it.
+func (s *DataServer) Hello() *Hello {
+	s.listingOnce.Do(func() {
+		s.listing = make([]BundleInfo, 0, s.Catalog.Len())
+		for _, b := range s.Catalog.Bundles {
+			s.listing = append(s.listing, BundleInfo{ID: b.ID, Features: b.Features})
+		}
+	})
+	hello := &Hello{Secure: s.Secure, Bundles: s.listing}
+	if s.Secure {
+		hello.PubN = s.priv.N.Bytes()
+	}
+	return hello
+}
+
+// ServeConn runs one legacy (v1) bargaining session over the connection
+// and returns its summary: gob framing, server-first Hello, no handshake.
+// The caller owns the connection lifecycle. When IOTimeout is set, reads
+// and writes that stall past it fail the session with an error wrapping
+// ErrPeerTimeout.
+func (s *DataServer) ServeConn(conn net.Conn) (*SessionSummary, error) {
+	return s.ServeCodec(newCodec(WithIOTimeout(conn, s.IOTimeout)).c, s.Hello())
+}
+
+// ServeCodec runs one bargaining session over an established codec: send
+// the hello, then answer quotes until the session settles or a party walks
+// away. It is the serving core shared by ServeConn and the multi-market
+// Server frontend (which performs the v2 handshake first).
+func (s *DataServer) ServeCodec(c Codec, hello *Hello) (*SessionSummary, error) {
+	l := link{c}
+	if err := l.send(&Envelope{Kind: KindHello, Hello: hello}); err != nil {
+		return nil, err
+	}
+	maxRounds := s.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 1000
+	}
+
+	sum := &SessionSummary{BundleID: -1}
+	// The buyer's target gain is constant for a session (v2 sends it
+	// verbatim; a legacy quote's knee equals it under Eq. 5), so the
+	// closest-bundle hint is computed once and refreshed only if the
+	// announced target actually moves.
+	lastTarget, targetBundle := -1.0, -1
+	for quotes := 1; ; quotes++ {
+		// The session must open with a quote; from the second exchange on,
+		// a Settle in place of a Quote is a legal walk-away notice.
+		wants := []Kind{KindQuote}
+		if quotes > 1 {
+			wants = append(wants, KindSettle)
+		}
+		e, err := l.recvAny(wants...)
+		if err != nil {
+			return sum, err
+		}
+		if e.Kind == KindSettle {
+			// A Settle in place of a Quote is the buyer's walk-away notice
+			// (Case 1 / pool exhaustion): the session ends unclosed but
+			// clean.
+			return sum, nil
+		}
+		if quotes > maxRounds {
+			return sum, fmt.Errorf("wire: session exceeded %d rounds", maxRounds)
+		}
+		q := core.QuotedPrice{Rate: e.Quote.Rate, Base: e.Quote.Base, High: e.Quote.High}
+		if err := q.Validate(); err != nil {
+			return sum, fmt.Errorf("wire: client sent invalid quote: %w", err)
+		}
+
+		so := core.AnswerQuote(s.Catalog, q, e.Quote.U, s.EpsData, s.DataCost, quotes, s.EpsDataC)
+		target := e.Quote.Target
+		if target <= 0 {
+			// Legacy clients do not send the exact ΔG*; the knee of an
+			// Eq. 5-conforming quote equals it.
+			target = q.TargetGain()
+		}
+		if target != lastTarget {
+			lastTarget, targetBundle = target, s.Catalog.TargetBundle(target)
+		}
+		offer := &Offer{
+			BundleID: so.BundleID, Features: so.Features,
+			Accept: so.Accept, Fail: so.Fail, Reason: so.Reason,
+			TargetBundleID: targetBundle,
+		}
+		if err := l.send(&Envelope{Kind: KindOffer, Offer: offer}); err != nil {
+			return sum, err
+		}
+		if offer.Fail {
+			// Case 1 territory: the client either escalates with another
+			// quote or walks away with a Settle; the loop top handles both.
+			continue
+		}
+		sum.Rounds++
+		sum.BundleID = offer.BundleID
+
+		se, err := l.recv(KindSettle)
+		if err != nil {
+			return sum, err
+		}
+		pay, err := s.settledPayment(q, se.Settle)
+		if err != nil {
+			return sum, err
+		}
+		if s.OnRound != nil {
+			s.OnRound(core.RoundRecord{
+				Round: quotes, Price: q, BundleID: offer.BundleID,
+				Gain: se.Settle.Gain, Payment: pay,
+			})
+		}
+		switch se.Settle.Decision {
+		case DecisionAccept:
+			sum.Closed = true
+			sum.Payment = pay
+			return sum, nil
+		case DecisionFail:
+			return sum, nil // Case 4
+		}
+		if offer.Accept {
+			// Case 2: the data party already committed at this quote.
+			sum.Closed = true
+			sum.Payment = pay
+			return sum, nil
+		}
+	}
+}
+
+// settledPayment extracts the payment from a settlement message.
+func (s *DataServer) settledPayment(q core.QuotedPrice, st *Settle) (float64, error) {
+	if !s.Secure {
+		return q.Payment(st.Gain), nil
+	}
+	if len(st.EncPayment) == 0 {
+		return 0, fmt.Errorf("wire: secure session settled without ciphertext")
+	}
+	recv := secure.NewDataReceiver(s.priv)
+	ct := &secure.Ciphertext{C: new(big.Int).SetBytes(st.EncPayment)}
+	return recv.OpenPayment(&secure.GainReport{EncPayment: ct})
+}

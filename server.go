@@ -1,0 +1,327 @@
+package vflmarket
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Networked-service aliases; see the wire package for the protocol details.
+type (
+	// SessionSummary is the server's record of one bargaining session.
+	SessionSummary = wire.SessionSummary
+	// BundleInfo is one public listing entry (features, never prices).
+	BundleInfo = wire.BundleInfo
+)
+
+// Codec names for WithCodec.
+const (
+	CodecGob  = wire.CodecGob
+	CodecJSON = wire.CodecJSON
+)
+
+// ErrPeerTimeout marks session errors caused by a peer stalling past the
+// configured IO timeout (errors.Is).
+var ErrPeerTimeout = wire.ErrPeerTimeout
+
+// SessionEvent is the per-session notification delivered to the hook
+// installed with WithSessionHook.
+type SessionEvent struct {
+	// Market is the resolved market name ("" when the session died before
+	// market selection, e.g. on a malformed handshake).
+	Market string
+	// Remote is the peer address.
+	Remote string
+	// Summary is the session's record; nil for listing-only connections and
+	// sessions rejected before bargaining started.
+	Summary *SessionSummary
+	// Err is the session's failure, nil on clean completion.
+	Err error
+}
+
+// ServerMetrics is a point-in-time snapshot of a server's counters.
+type ServerMetrics struct {
+	// Accepted counts accepted connections.
+	Accepted uint64
+	// Sessions counts bargaining sessions that ran (handshake + market
+	// resolution succeeded, listing-only connections excluded).
+	Sessions uint64
+	// Closed counts sessions that ended in a settled transaction.
+	Closed uint64
+	// Failed counts sessions that ended with a protocol or transport error.
+	Failed uint64
+	// Rejected counts connections turned away before bargaining: malformed
+	// handshakes, unsupported versions, unknown markets.
+	Rejected uint64
+	// Active is the number of sessions being served right now.
+	Active int64
+}
+
+// ServerOption configures a Server at construction time.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	workers    int
+	ioTimeout  time.Duration
+	secureBits int
+	maxRounds  int
+	hook       func(SessionEvent)
+	roundObs   RoundObserver
+}
+
+// WithWorkers bounds the session worker pool: at most n sessions bargain
+// concurrently, further connections queue in the listener backlog (the
+// same bounded-pool discipline core.RunBatch uses). <= 0 means GOMAXPROCS.
+func WithWorkers(n int) ServerOption { return func(c *serverConfig) { c.workers = n } }
+
+// WithIOTimeout bounds every read and write on served connections: a
+// stalled or vanished client fails its session with an
+// ErrPeerTimeout-wrapped error instead of pinning a worker forever. The
+// default is 30 seconds; <= 0 keeps the default.
+func WithIOTimeout(d time.Duration) ServerOption {
+	return func(c *serverConfig) {
+		if d > 0 {
+			c.ioTimeout = d
+		}
+	}
+}
+
+// WithSecureSettlement enables §3.6 Paillier settlement on every market:
+// each registered engine gets a key pair with primes of keyBits (256 is
+// fine for demos; production wants 1536+), the public key travels in the
+// Hello, and realized gains then never cross the wire in clear.
+func WithSecureSettlement(keyBits int) ServerOption {
+	return func(c *serverConfig) { c.secureBits = keyBits }
+}
+
+// WithSessionRounds caps the quotes a single session may send before the
+// server gives up on it. <= 0 keeps the wire default (1000).
+func WithSessionRounds(n int) ServerOption { return func(c *serverConfig) { c.maxRounds = n } }
+
+// WithSessionHook installs a per-session callback, invoked once per
+// connection after it completes (or is rejected). Sessions run
+// concurrently, so the hook must be safe for concurrent use.
+func WithSessionHook(hook func(SessionEvent)) ServerOption {
+	return func(c *serverConfig) { c.hook = hook }
+}
+
+// WithServerObserver streams every realized round of every session, as the
+// server sees it: quote, bundle, and — in clear settlement mode — gain and
+// payment (zeros under Paillier). The observer is shared across concurrent
+// sessions and must be safe for concurrent use; OnOutcome never fires
+// (use WithSessionHook for completions).
+func WithServerObserver(obs RoundObserver) ServerOption {
+	return func(c *serverConfig) { c.roundObs = obs }
+}
+
+// Server exposes one or more named Engines — a multi-market registry — as
+// a network service speaking the wire protocol. One listener serves every
+// registered market; clients select one in their hello. Construct with
+// NewServer, add markets with Register, then run Serve.
+type Server struct {
+	cfg serverConfig
+
+	mu      sync.RWMutex
+	markets map[string]*wire.DataServer
+	order   []string // registration order; the first market is the default
+
+	accepted, sessions, closed, failed, rejected atomic.Uint64
+	active                                       atomic.Int64
+}
+
+// NewServer builds an empty multi-market server. Register at least one
+// market before calling Serve.
+func NewServer(opts ...ServerOption) *Server {
+	cfg := serverConfig{ioTimeout: 30 * time.Second}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Server{cfg: cfg, markets: make(map[string]*wire.DataServer)}
+}
+
+// Register adds a named market backed by the engine: its catalog is the
+// listing, its session template's εd drives the data party's Case 2
+// acceptance. The first registered market is the default for clients that
+// do not name one. Registering a duplicate name is an error.
+func (s *Server) Register(name string, e *Engine) error {
+	if name == "" {
+		return fmt.Errorf("vflmarket: market name must not be empty")
+	}
+	if e == nil {
+		return fmt.Errorf("vflmarket: market %q needs an engine", name)
+	}
+	tmpl := e.Session()
+	ds, err := wire.NewDataServer(e.Catalog(), tmpl.EpsData, s.cfg.secureBits > 0, s.cfg.secureBits)
+	if err != nil {
+		return fmt.Errorf("vflmarket: market %q: %w", name, err)
+	}
+	ds.MaxRounds = s.cfg.maxRounds
+	// Carry the template's data-party cost model so Case 3 (Eq. 6)
+	// acceptance fires over the wire exactly as it does in-process.
+	ds.DataCost = tmpl.DataCost
+	ds.EpsDataC = tmpl.EpsDataC
+	if obs := s.cfg.roundObs; obs != nil {
+		ds.OnRound = obs.OnRound
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.markets[name]; dup {
+		return fmt.Errorf("vflmarket: market %q already registered", name)
+	}
+	s.markets[name] = ds
+	s.order = append(s.order, name)
+	return nil
+}
+
+// Markets lists the registered market names in registration order.
+func (s *Server) Markets() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.order...)
+}
+
+// Metrics returns a snapshot of the server's counters.
+func (s *Server) Metrics() ServerMetrics {
+	return ServerMetrics{
+		Accepted: s.accepted.Load(),
+		Sessions: s.sessions.Load(),
+		Closed:   s.closed.Load(),
+		Failed:   s.failed.Load(),
+		Rejected: s.rejected.Load(),
+		Active:   s.active.Load(),
+	}
+}
+
+// Serve accepts connections on the listener and bargains with each across
+// the bounded worker pool until ctx is cancelled, then shuts down
+// gracefully: the listener closes, queued and in-flight sessions finish
+// (each bounded by the IO timeout and session round cap), and Serve
+// returns the cancellation cause. A listener error other than shutdown is
+// returned as-is. The listener is closed by the time Serve returns.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(s.Markets()) == 0 {
+		ln.Close()
+		return fmt.Errorf("vflmarket: serve with no registered markets")
+	}
+	workers := s.cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Closing the listener is what breaks the accept loop on cancellation.
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+	defer ln.Close()
+
+	conns := make(chan net.Conn)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for conn := range conns {
+				s.handle(conn)
+			}
+		}()
+	}
+
+	var err error
+	for {
+		conn, aerr := ln.Accept()
+		if aerr != nil {
+			if ctx.Err() != nil {
+				err = context.Cause(ctx)
+			} else {
+				err = aerr
+			}
+			break
+		}
+		s.accepted.Add(1)
+		select {
+		case conns <- conn:
+		case <-ctx.Done():
+			conn.Close()
+		}
+	}
+	close(conns)
+	wg.Wait()
+	return err
+}
+
+// handle runs one connection end to end: handshake, market resolution, and
+// the bargaining session.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	remote := ""
+	if addr := conn.RemoteAddr(); addr != nil {
+		remote = addr.String()
+	}
+	notify := func(market string, sum *SessionSummary, err error) {
+		if s.cfg.hook != nil {
+			s.cfg.hook(SessionEvent{Market: market, Remote: remote, Summary: sum, Err: err})
+		}
+	}
+
+	tconn := wire.WithIOTimeout(conn, s.cfg.ioTimeout)
+	codec, ch, err := wire.AcceptHandshake(tconn)
+	if err != nil {
+		s.rejected.Add(1)
+		notify("", nil, err)
+		return
+	}
+	if ch.Version < 1 || ch.Version > wire.ProtocolVersion {
+		s.rejected.Add(1)
+		err := fmt.Errorf("vflmarket: unsupported protocol version %d (serving <= %d)", ch.Version, wire.ProtocolVersion)
+		wire.SendError(codec, "%v", err)
+		notify("", nil, err)
+		return
+	}
+
+	s.mu.RLock()
+	name := ch.Market
+	if name == "" && len(s.order) > 0 {
+		name = s.order[0]
+	}
+	ds := s.markets[name]
+	markets := append([]string(nil), s.order...)
+	s.mu.RUnlock()
+	if ds == nil {
+		s.rejected.Add(1)
+		err := fmt.Errorf("vflmarket: unknown market %q (serving %v)", ch.Market, markets)
+		wire.SendError(codec, "%v", err)
+		notify("", nil, err)
+		return
+	}
+
+	hello := ds.Hello()
+	hello.Version = wire.ProtocolVersion
+	hello.Market = name
+	hello.Markets = markets
+
+	if ch.ListOnly {
+		_ = codec.Send(&wire.Envelope{Kind: wire.KindHello, Hello: hello})
+		notify(name, nil, nil)
+		return
+	}
+
+	s.sessions.Add(1)
+	s.active.Add(1)
+	sum, serr := ds.ServeCodec(codec, hello)
+	s.active.Add(-1)
+	switch {
+	case serr != nil:
+		s.failed.Add(1)
+	case sum != nil && sum.Closed:
+		s.closed.Add(1)
+	}
+	notify(name, sum, serr)
+}

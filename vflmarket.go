@@ -24,10 +24,22 @@
 // final trace; use Engine.BargainBatch to play many sessions across a
 // bounded worker pool with deterministic per-session randomness.
 //
-// The underlying pieces — the bargaining engines, the VFL simulator, the
-// dataset generators, the experiment harness regenerating every table and
-// figure of the paper — live in internal packages and surface here through
-// type aliases, so downstream code needs only this import.
+// The market also runs as a network service — the two-organisation
+// deployment the paper's production setting implies. A Server exposes any
+// number of named Engines (a multi-market registry) behind one listener
+// with a bounded session pool, IO deadlines, metrics, and graceful
+// shutdown; Dial returns a Client whose Bargain mirrors Engine.Bargain —
+// same options merging, observers, and cancellation — over a
+// codec-agnostic wire protocol (gob or JSON framing), optionally settling
+// under Paillier encryption (§3.6). Because the networked client plays the
+// exact same game loop as the in-process engine, its results are
+// bit-identical for the same seed and catalog.
+//
+// The underlying pieces — the bargaining engines, the wire protocol, the
+// VFL simulator, the dataset generators, the experiment harness
+// regenerating every table and figure of the paper — live in internal
+// packages and surface here through type aliases, so downstream code needs
+// only this import.
 package vflmarket
 
 import (
