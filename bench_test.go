@@ -308,17 +308,63 @@ func BenchmarkBargainPerfect(b *testing.B) {
 	}
 }
 
-// BenchmarkBargainImperfect measures one estimation-based game including
-// online estimator training.
-func BenchmarkBargainImperfect(b *testing.B) {
-	m, err := New(Config{Dataset: "titanic", Synthetic: true, Scale: 0.5, Seed: 5})
+// BenchmarkImperfectBargain measures one estimation-based game through the
+// Engine API — exploration, both online estimators, experience replay —
+// the in-process half of the imperfect perf trajectory.
+func BenchmarkImperfectBargain(b *testing.B) {
+	e, err := NewEngine("titanic", WithSynthetic(true), WithScale(0.5), WithSeed(5))
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.BargainImperfect(uint64(i), 40); err != nil {
+		if _, err := e.BargainImperfect(context.Background(), uint64(i+1), 40); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkImperfectServiceRoundTrip measures one full networked
+// imperfect-information session — dial, v3 handshake, exploration rounds
+// with per-settlement MSE acks, estimator-driven close, teardown — against
+// a loopback multi-market Server, once per codec. Together with
+// BenchmarkServiceRoundTrip it anchors the service half of the perf
+// trajectory in BENCH_PR3.json.
+func BenchmarkImperfectServiceRoundTrip(b *testing.B) {
+	engine, err := NewEngine("titanic", WithSynthetic(true), WithScale(0.25), WithSeed(11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer()
+	if err := srv.Register("titanic", engine); err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	defer func() { cancel(); <-done }()
+
+	for _, codec := range []string{CodecGob, CodecJSON} {
+		b.Run(codec, func(b *testing.B) {
+			client, err := Dial(context.Background(), ln.Addr().String(),
+				WithCodec(codec),
+				WithSession(engine.SessionImperfect()),
+				WithGains(engine.CatalogGains()),
+				WithImperfect(ImperfectParams{ExplorationRounds: 40, PricePool: 100}),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.BargainImperfect(context.Background(), BargainOptions{Seed: uint64(i + 1)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

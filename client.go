@@ -20,6 +20,7 @@ type dialConfig struct {
 	ioTimeout   time.Duration
 	session     *SessionConfig
 	gains       GainProvider
+	imperfect   *ImperfectParams
 }
 
 // WithCodec selects the wire framing: CodecGob (default, Go-native) or
@@ -60,6 +61,14 @@ func WithSession(cfg SessionConfig) DialOption {
 // engine.CatalogGains() of a local Engine when both parties pre-trained
 // with the third party, or a live trainer in production.
 func WithGains(g GainProvider) DialOption { return func(c *dialConfig) { c.gains = g } }
+
+// WithImperfect pre-sets the imperfect-regime knobs (exploration rounds N,
+// candidate-pool size, replay budget) that BargainImperfect plays with.
+// Zero-valued knobs resolve to the paper defaults, so dialing without this
+// option still allows imperfect sessions.
+func WithImperfect(p ImperfectParams) DialOption {
+	return func(c *dialConfig) { cp := p; c.imperfect = &cp }
+}
 
 // Client is the task party's connection point to a market Server. A Client
 // is cheap, immutable and safe for concurrent use: every Bargain call
@@ -103,7 +112,8 @@ func (c *Client) probe(ctx context.Context) (*wire.Hello, error) {
 	defer conn.Close()
 	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
 	defer stop()
-	_, hello, err := wire.ClientHandshake(wire.WithIOTimeout(conn, c.cfg.ioTimeout), c.cfg.codec, c.cfg.market, true)
+	_, hello, err := wire.ClientHandshake(wire.WithIOTimeout(conn, c.cfg.ioTimeout), c.cfg.codec,
+		wire.ClientHello{Market: c.cfg.market, ListOnly: true})
 	if err != nil {
 		return nil, fmt.Errorf("vflmarket: dial %s: %w", c.addr, err)
 	}
@@ -124,6 +134,10 @@ func (c *Client) Market() string { return c.hello.Market }
 
 // Markets lists every market the server serves.
 func (c *Client) Markets() []string { return append([]string(nil), c.hello.Markets...) }
+
+// Modes lists the information regimes the server serves ("perfect", and
+// "imperfect" unless the server settles under Paillier).
+func (c *Client) Modes() []string { return append([]string(nil), c.hello.Modes...) }
 
 // Listing returns the market's public bundle listing (features only; the
 // reserved prices stay private to the data party).
@@ -156,10 +170,88 @@ func (c *Client) Bargain(ctx context.Context, opts BargainOptions) (*Result, err
 	return c.BargainWith(ctx, cfg, c.cfg.gains, opts.Observers...)
 }
 
+// BargainImperfect plays one imperfect-information session against the
+// server with the dial template session, mirroring Engine.BargainImperfect
+// over the wire: the §3.5 estimation-based game with exploration rounds,
+// online-learned ΔG estimators on both endpoints, and experience replay.
+// The regime knobs come from WithImperfect (paper defaults otherwise);
+// BargainOptions merge onto the template exactly as in Bargain.
+//
+// For mirrored engines the ImperfectResult — trace, outcome, and both MSE
+// learning curves — is bit-identical to the in-process run with the same
+// seed: dial with WithSession(engine.SessionImperfect()) to match
+// Engine.BargainImperfect. Imperfect sessions settle in clear (the
+// realized gain is the data party's training signal), so Paillier-settling
+// servers refuse them.
+func (c *Client) BargainImperfect(ctx context.Context, opts BargainOptions) (*ImperfectResult, error) {
+	if c.cfg.session == nil {
+		return nil, fmt.Errorf("vflmarket: BargainImperfect needs a session template: Dial with WithSession")
+	}
+	if opts.DataGreed != DataStrategic || opts.DataCost != (CostModel{}) {
+		return nil, fmt.Errorf("vflmarket: data-party options (DataGreed, DataCost) are server-side over the wire; configure them on the server's engine")
+	}
+	var params ImperfectParams
+	if c.cfg.imperfect != nil {
+		params = *c.cfg.imperfect
+	}
+	cfg := mergeBargainOptions(*c.cfg.session, opts)
+	return c.BargainImperfectWith(ctx, cfg, params, c.cfg.gains, opts.Observers...)
+}
+
+// BargainImperfectWith plays one imperfect-information session with a
+// fully custom session configuration and explicit regime knobs, mirroring
+// Engine.BargainImperfectWith. gains may be nil when the Client was dialed
+// with WithGains.
+func (c *Client) BargainImperfectWith(ctx context.Context, cfg SessionConfig, params ImperfectParams, gains GainProvider, obs ...RoundObserver) (*ImperfectResult, error) {
+	params = params.WithDefaults()
+	// The handshake advertises the regime and the mutually known §3.5
+	// parameters, so the remote data party constructs the exact
+	// estimation-based seller an in-process run would.
+	hs := wire.ClientHello{
+		Market: c.cfg.market,
+		Mode:   wire.ModeImperfect,
+		Imperfect: &wire.ImperfectHello{
+			Seed:              cfg.Seed,
+			Target:            cfg.TargetGain,
+			ExplorationRounds: params.ExplorationRounds,
+			ReplaySteps:       params.ReplaySteps,
+		},
+	}
+	var res *ImperfectResult
+	err := c.withSession(ctx, gains, hs, func(ctx context.Context, tc *wire.TaskClient, codec wire.Codec, hello *wire.Hello) error {
+		var err error
+		res, err = tc.BargainImperfectCodec(ctx, codec, hello, params)
+		return err
+	}, cfg, obs)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
 // BargainWith plays one session with a fully custom session configuration,
 // mirroring Engine.BargainWith. gains may be nil when the Client was
 // dialed with WithGains.
 func (c *Client) BargainWith(ctx context.Context, cfg SessionConfig, gains GainProvider, obs ...RoundObserver) (*Result, error) {
+	var res *Result
+	err := c.withSession(ctx, gains, wire.ClientHello{Market: c.cfg.market},
+		func(ctx context.Context, tc *wire.TaskClient, codec wire.Codec, hello *wire.Hello) error {
+			var err error
+			res, err = tc.BargainCodec(ctx, codec, hello)
+			return err
+		}, cfg, obs)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// withSession dials, performs the handshake with the given ClientHello,
+// and runs one session body over the negotiated codec — the connection
+// lifecycle shared by both information regimes.
+func (c *Client) withSession(ctx context.Context, gains GainProvider, hs wire.ClientHello,
+	run func(ctx context.Context, tc *wire.TaskClient, codec wire.Codec, hello *wire.Hello) error,
+	cfg SessionConfig, obs []RoundObserver) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -167,11 +259,11 @@ func (c *Client) BargainWith(ctx context.Context, cfg SessionConfig, gains GainP
 		gains = c.cfg.gains
 	}
 	if gains == nil {
-		return nil, fmt.Errorf("vflmarket: bargaining needs a gain provider: Dial with WithGains")
+		return fmt.Errorf("vflmarket: bargaining needs a gain provider: Dial with WithGains")
 	}
 	conn, err := c.dial(ctx)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer conn.Close()
 	// Poking the deadline on cancellation unblocks any in-flight read, so
@@ -180,16 +272,15 @@ func (c *Client) BargainWith(ctx context.Context, cfg SessionConfig, gains GainP
 	defer stop()
 
 	tconn := wire.WithIOTimeout(conn, c.cfg.ioTimeout)
-	codec, hello, err := wire.ClientHandshake(tconn, c.cfg.codec, c.cfg.market, false)
+	codec, hello, err := wire.ClientHandshake(tconn, c.cfg.codec, hs)
 	if err != nil {
-		return nil, wrapCtx(ctx, err)
+		return wrapCtx(ctx, err)
 	}
 	tc := &wire.TaskClient{Session: cfg, Gains: gains, Observers: toCoreObservers(obs)}
-	res, err := tc.BargainCodec(ctx, codec, hello)
-	if err != nil {
-		return nil, wrapCtx(ctx, err)
+	if err := run(ctx, tc, codec, hello); err != nil {
+		return wrapCtx(ctx, err)
 	}
-	return res, nil
+	return nil
 }
 
 // wrapCtx prefers the context's cause when a transport error was really a

@@ -10,7 +10,10 @@
 //	    [-keybits 256] [-timeout 30s] [-v]
 //
 // Clients select a market by name (see cmd/vflmarket -connect, or the
-// vflmarket.Dial API); gob and JSON codecs are both served.
+// vflmarket.Dial API); gob and JSON codecs are both served, and both
+// information regimes: perfect (closed-form pricing over the catalog) and
+// imperfect (§3.5 estimation-based bargaining, unless -secure — the
+// imperfect regime needs realized gains in clear).
 package main
 
 import (
@@ -98,4 +101,10 @@ func main() {
 	fmt.Printf("\nshutdown: %v\n", err)
 	fmt.Printf("sessions: %d accepted, %d bargained, %d closed, %d failed, %d rejected\n",
 		m.Accepted, m.Sessions, m.Closed, m.Failed, m.Rejected)
+	marketMetrics := srv.MarketMetrics()
+	for _, name := range srv.Markets() {
+		mm := marketMetrics[name]
+		fmt.Printf("market %-8s %d sessions (%d imperfect), oracle: %d VFL trainings, %d cached gains\n",
+			name, mm.Sessions, mm.ImperfectSessions, mm.OracleTrainings, mm.OracleCachedGains)
+	}
 }

@@ -10,12 +10,15 @@
 // (cmd/serve) instead of in-process: the local engine supplies the task
 // party's session template and pre-trained gains, the server plays the
 // data party. The trace and outcome are bit-identical to the in-process
-// run for the same seed when both sides were built alike.
+// run for the same seed when both sides were built alike. -imperfect
+// combines with -connect: the remote data party then serves the §3.5
+// estimation-based game (exploration rounds, online estimators, replay)
+// with the same bit-identity guarantee.
 //
 // Usage:
 //
 //	go run ./cmd/vflmarket -dataset titanic [-model forest] [-imperfect] [-seed 1]
-//	go run ./cmd/vflmarket -connect 127.0.0.1:7070 -market credit [-codec json]
+//	go run ./cmd/vflmarket -connect 127.0.0.1:7070 -market credit [-codec json] [-imperfect]
 package main
 
 import (
@@ -73,6 +76,10 @@ func main() {
 		log.Fatal(err)
 	}
 	session := engine.Session()
+	if *imperfect {
+		// The imperfect regime's tolerances absorb estimation error.
+		session = engine.SessionImperfect()
+	}
 	fmt.Printf("Market: %s (%s gains), %d bundles\n", *ds, gainsKind(*synthetic), engine.Catalog().Len())
 	fmt.Printf("Task party: u=%.4g, budget=%.4g, target ΔG*=%.4g\n",
 		session.U, session.Budget, session.TargetGain)
@@ -92,16 +99,18 @@ func main() {
 	var outcome vflmarket.Outcome
 	var final vflmarket.RoundRecord
 	if *connect != "" {
-		if *imperfect {
-			log.Fatal("-imperfect is not supported over -connect (the wire protocol plays perfect information)")
-		}
-		client, err := vflmarket.Dial(ctx, *connect,
+		dialOpts := []vflmarket.DialOption{
 			vflmarket.WithMarket(*market),
 			vflmarket.WithCodec(*codec),
-			vflmarket.WithDialTimeout(5*time.Second),
+			vflmarket.WithDialTimeout(5 * time.Second),
 			vflmarket.WithSession(session),
 			vflmarket.WithGains(engine.CatalogGains()),
-		)
+		}
+		if *imperfect {
+			dialOpts = append(dialOpts,
+				vflmarket.WithImperfect(vflmarket.ImperfectParams{ExplorationRounds: *explore}))
+		}
+		client, err := vflmarket.Dial(ctx, *connect, dialOpts...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -111,13 +120,22 @@ func main() {
 			log.Fatalf("server resolved market %q but the local engine models %q; pass -market %s",
 				client.Market(), *ds, client.Market())
 		}
-		fmt.Printf("Connected: market %q of %v (%s codec, secure=%v)\n\n",
-			client.Market(), client.Markets(), *codec, client.Secure())
-		res, err := client.Bargain(ctx, vflmarket.BargainOptions{Seed: *seed, Observers: observers})
-		if err != nil {
-			log.Fatal(err)
+		fmt.Printf("Connected: market %q of %v (%s codec, modes %v, secure=%v)\n\n",
+			client.Market(), client.Markets(), *codec, client.Modes(), client.Secure())
+		opts := vflmarket.BargainOptions{Seed: *seed, Observers: observers}
+		if *imperfect {
+			res, err := client.BargainImperfect(ctx, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rounds, outcome, final = res.Rounds, res.Outcome, res.Final
+		} else {
+			res, err := client.Bargain(ctx, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rounds, outcome, final = res.Rounds, res.Outcome, res.Final
 		}
-		rounds, outcome, final = res.Rounds, res.Outcome, res.Final
 	} else if *imperfect {
 		res, err := engine.BargainImperfect(ctx, *seed, *explore, observers...)
 		if err != nil {

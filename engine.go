@@ -116,6 +116,30 @@ func seedIsSet(seed uint64) bool { return seed != 0 }
 // pass it to BargainWith or a BatchSpec.
 func (e *Engine) Session() SessionConfig { return e.env.Session }
 
+// SessionImperfect returns the session template tuned for the imperfect
+// information regime: the same market (opening quote, budget, target gain)
+// with the profile's imperfect tolerances εt = εd (§4.4), which absorb
+// estimation error. It is the template to Dial a networked client with
+// (WithSession) when mirroring Engine.BargainImperfect over the wire.
+func (e *Engine) SessionImperfect() SessionConfig {
+	cfg := e.env.Session
+	cfg.EpsTask = e.env.Profile.EpsImperfect
+	cfg.EpsData = e.env.Profile.EpsImperfect
+	return cfg
+}
+
+// OracleStats reports the valuation oracle's counters: VFL courses
+// actually trained and bundle gains memoized so far. Both are 0 for
+// synthetic-gain engines, which never train. The oracle is shared by every
+// session of the engine, so the counters measure the engine's cumulative
+// training load.
+func (e *Engine) OracleStats() (trainings, cachedGains int) {
+	if e.env.Oracle == nil {
+		return 0, 0
+	}
+	return e.env.Oracle.Trainings(), e.env.Oracle.CacheSize()
+}
+
 // BargainOptions tweak a standard bargaining run. Unset fields keep the
 // engine template's values (which themselves fall back to the
 // SessionConfig defaults), so a zero BargainOptions plays the template
@@ -173,12 +197,17 @@ func (e *Engine) BargainWith(ctx context.Context, cfg SessionConfig, obs ...Roun
 // knows bundle gains in advance; both learn estimators online
 // (explorationRounds is N of Case VII; 0 means 100).
 func (e *Engine) BargainImperfect(ctx context.Context, seed uint64, explorationRounds int, obs ...RoundObserver) (*ImperfectResult, error) {
-	cfg := e.env.Session
+	cfg := e.SessionImperfect()
 	cfg.Seed = seed
-	cfg.EpsTask = e.env.Profile.EpsImperfect
-	cfg.EpsData = e.env.Profile.EpsImperfect
-	return core.NewSession(e.env.Catalog, cfg).Observe(obs...).
-		RunImperfect(ctx, core.ImperfectParams{ExplorationRounds: explorationRounds})
+	return e.BargainImperfectWith(ctx, cfg, ImperfectParams{ExplorationRounds: explorationRounds}, obs...)
+}
+
+// BargainImperfectWith plays one imperfect-information game with a fully
+// custom session configuration and explicit regime knobs, streaming
+// progress to any attached observers. It mirrors BargainWith for the
+// imperfect regime.
+func (e *Engine) BargainImperfectWith(ctx context.Context, cfg SessionConfig, params ImperfectParams, obs ...RoundObserver) (*ImperfectResult, error) {
+	return core.NewSession(e.env.Catalog, cfg).Observe(obs...).RunImperfect(ctx, params)
 }
 
 // BatchSpec is one session of a batch run.

@@ -8,19 +8,21 @@ import (
 	"repro/internal/rng"
 )
 
-// ImperfectConfig parameterizes bargaining under imperfect performance
-// information (§3.5): neither party knows any bundle's ΔG in advance; both
-// learn estimators online from the VFL courses the bargaining itself runs.
-type ImperfectConfig struct {
-	Session SessionConfig
-
+// ImperfectParams are the mutually known knobs of bargaining under
+// imperfect performance information (§3.5): neither party knows any
+// bundle's ΔG in advance; both learn estimators online from the VFL courses
+// the bargaining itself runs. They are the single source of truth for the
+// regime's defaults — every entry point (in-process, batch, wire) routes
+// through WithDefaults.
+type ImperfectParams struct {
 	// ExplorationRounds is N of Case VII: within the first N rounds the
 	// bargaining never terminates, quotes are sampled for coverage, and the
-	// estimators train (§4.4 uses N = 100).
+	// estimators train (§4.4 uses N = 100). <= 0 means 100.
 	ExplorationRounds int
 
 	// PricePool is the size of the candidate quote set the task party
-	// generates up-front, all conforming to Eq. 5 (§3.5.3). <= 0 means 200.
+	// generates up-front, all conforming to Eq. 5 (§3.5.3). It is private
+	// to the task party and never crosses the wire. <= 0 means 200.
 	PricePool int
 
 	// ReplaySteps is the number of experience-replay gradient steps each
@@ -32,29 +34,8 @@ type ImperfectConfig struct {
 	ReplaySteps int
 }
 
-// Params extracts the imperfect-information knobs from the config.
-func (c ImperfectConfig) Params() ImperfectParams {
-	return ImperfectParams{
-		ExplorationRounds: c.ExplorationRounds,
-		PricePool:         c.PricePool,
-		ReplaySteps:       c.ReplaySteps,
-	}
-}
-
-// ImperfectParams are the imperfect-information knobs of ImperfectConfig
-// without the session configuration; Session.RunImperfect takes them
-// directly since the session configuration is the Session's own.
-type ImperfectParams struct {
-	// ExplorationRounds is N of Case VII (see ImperfectConfig).
-	ExplorationRounds int
-	// PricePool is the candidate quote set size (see ImperfectConfig).
-	PricePool int
-	// ReplaySteps is the per-round experience-replay budget (see
-	// ImperfectConfig).
-	ReplaySteps int
-}
-
-func (p ImperfectParams) withDefaults() ImperfectParams {
+// WithDefaults resolves the zero-value knobs to the paper's defaults.
+func (p ImperfectParams) WithDefaults() ImperfectParams {
 	if p.ExplorationRounds <= 0 {
 		p.ExplorationRounds = 100
 	}
@@ -77,6 +58,31 @@ type ImperfectResult struct {
 	DataMSE []float64
 }
 
+// MSEReporter is implemented by sellers that expose their bundle
+// estimator's per-round pre-update MSE — the data-party series of Figure 4.
+// Session.RunImperfectWith fills ImperfectResult.DataMSE from it; both the
+// in-process EstimatorSeller and the wire client's remote seller (which
+// collects the server's settlement acknowledgements) implement it.
+type MSEReporter interface {
+	DataMSE() []float64
+}
+
+// Imperfect seed convention: both parties derive their private random
+// streams from the one session seed, so the networked game — where each
+// endpoint owns only its own half — replays bit-identically to the
+// in-process one. From src = rng.New(Seed):
+//
+//	task party (buyer policy): f estimator seed  src.Split(1)
+//	                           candidate pool    src.Split(3)
+//	                           exploration quotes src.Split(4)
+//	                           experience replay src.Split(5)
+//	data party (seller):       g estimator seed  src.Split(2)
+//	                           exploration bundles src.Split(6)
+//	                           experience replay src.Split(7)
+//
+// Each side consumes only its own splits; the interleaving of draws across
+// the wire therefore cannot change the streams.
+
 // RunImperfect plays the estimation-based bargaining of §3.5 over the
 // catalog. The catalog's gains stand in for the VFL courses: each round the
 // selected bundle's gain is "realized" by running VFL (a catalog lookup
@@ -84,181 +90,142 @@ type ImperfectResult struct {
 // estimators.
 //
 // It is the blocking, observer-free form of Session.RunImperfect.
-func RunImperfect(cat *Catalog, cfg ImperfectConfig) (*ImperfectResult, error) {
-	return NewSession(cat, cfg.Session).RunImperfect(context.Background(), cfg.Params())
+func RunImperfect(cat *Catalog, cfg SessionConfig, params ImperfectParams) (*ImperfectResult, error) {
+	return NewSession(cat, cfg).RunImperfect(context.Background(), params)
 }
 
 // RunImperfect plays the estimation-based bargaining of §3.5 over the
-// session's catalog. The context is checked between rounds, exactly as in
-// Session.RunPerfect; observers stream every realized round (including
-// exploration rounds) and the final outcome.
+// session's catalog: the same unified quote → offer → realize → settle loop
+// as RunPerfect, with the estimator-driven buyer policy playing against an
+// in-process EstimatorSeller. The context is checked between rounds;
+// observers stream every realized round (including exploration rounds) and
+// the final outcome.
 func (sess *Session) RunImperfect(ctx context.Context, params ImperfectParams) (*ImperfectResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	cat := sess.cat
-	cfg := params.withDefaults()
-	s := sess.cfg.withDefaults()
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	if cat.Len() == 0 {
+	if cat == nil || cat.Len() == 0 {
 		return nil, fmt.Errorf("core: empty catalog")
 	}
-	src := rng.New(s.Seed)
+	pol, err := sess.prepareImperfect(params)
+	if err != nil {
+		return nil, err
+	}
+	seller := NewEstimatorSeller(cat, EstimatorSellerConfig{
+		Seed:    pol.cfg.Seed,
+		Target:  pol.cfg.TargetGain,
+		EpsData: pol.cfg.EpsData,
+		Params:  pol.params,
+	})
+	realize := func(o SellerOffer) float64 { return cat.Gain(o.BundleID) }
+	return sess.runImperfect(ctx, pol, seller, realize)
+}
+
+// RunImperfectWith plays the task party's side of the §3.5 estimation-based
+// game against an arbitrary Seller — typically a network peer speaking the
+// wire protocol — realizing each offered bundle's gain through gains. It is
+// the exact same game loop as RunImperfect (same estimator seeding and
+// stream derivation from the session seed, same termination precedence), so
+// against a seller that mirrors EstimatorSeller — the wire server does —
+// the ImperfectResult is bit-identical to the in-process run for the same
+// seed and catalog.
+//
+// When the seller implements MSEReporter (the wire client's seller does,
+// from the server's settlement acknowledgements), its series fills
+// ImperfectResult.DataMSE; otherwise DataMSE stays nil.
+func (sess *Session) RunImperfectWith(ctx context.Context, params ImperfectParams, seller Seller, gains GainProvider) (*ImperfectResult, error) {
+	if gains == nil {
+		return nil, fmt.Errorf("core: RunImperfectWith needs a gain provider")
+	}
+	pol, err := sess.prepareImperfect(params)
+	if err != nil {
+		return nil, err
+	}
+	realize := func(o SellerOffer) float64 { return gains.Gain(o.Features) }
+	return sess.runImperfect(ctx, pol, seller, realize)
+}
+
+// runImperfect plays the prepared policy against the seller through the
+// unified loop and assembles the learning curves.
+func (sess *Session) runImperfect(ctx context.Context, pol *imperfectPolicy, seller Seller,
+	realize func(SellerOffer) float64) (*ImperfectResult, error) {
 	res := &ImperfectResult{}
-	res.TargetBundleID = cat.TargetBundle(s.TargetGain)
-
-	gainScale := gainScaleFor(s.TargetGain)
-	maxRate := math.Min(s.U, (s.Budget-s.InitBase)/s.TargetGain)
-	f := NewPriceEstimator(maxRate, s.Budget, gainScale, src.Split(1).Uint64())
-
-	numFeatures := 0
-	for _, b := range cat.Bundles {
-		for _, ft := range b.Features {
-			if ft+1 > numFeatures {
-				numFeatures = ft + 1
-			}
-		}
+	res.TargetBundleID = -1 // filled from the seller's offer hints
+	if err := sess.play(ctx, pol.cfg, pol, seller, realize, &res.Result); err != nil {
+		return nil, err
 	}
-	g := NewBundleEstimator(numFeatures, gainScale, src.Split(2).Uint64())
-
-	pool := samplePricePool(s, cfg.PricePool, src.Split(3))
-	quote := EquilibriumPrice(s.InitRate, s.InitBase, s.TargetGain)
-
-	record := func(T int, q QuotedPrice, bundleID int, gain float64) {
-		rec := RoundRecord{
-			Round: T, Price: q, BundleID: bundleID, Gain: gain,
-			Payment:   q.Payment(gain),
-			NetProfit: s.U*gain - q.Payment(gain),
-			TaskCost:  s.TaskCost.At(T),
-			DataCost:  s.DataCost.At(T),
-		}
-		res.Rounds = append(res.Rounds, rec)
-		sess.notifyRound(rec)
+	res.TaskMSE = pol.taskMSE
+	if r, ok := seller.(MSEReporter); ok {
+		res.DataMSE = r.DataMSE()
 	}
-	finish := func(outcome Outcome) (*ImperfectResult, error) {
-		res.Outcome = outcome
-		if n := len(res.Rounds); n > 0 {
-			res.Final = res.Rounds[n-1]
-		}
-		sess.notifyOutcome(res.Result)
-		return res, nil
+	return res, nil
+}
+
+// imperfectPolicy is the estimation-based pricing of §3.5.3: an online
+// price estimator f trained on realized rounds (with experience replay), a
+// pre-sampled Eq. 5 candidate pool, random pool coverage during the Case
+// VII exploration phase, and predicted-net-profit quote selection after it.
+type imperfectPolicy struct {
+	cfg    SessionConfig   // defaulted and validated
+	params ImperfectParams // defaulted
+
+	f          *PriceEstimator
+	pool       []QuotedPrice
+	open       QuotedPrice
+	exploreSrc *rng.Source
+	replaySrc  *rng.Source
+
+	history []RoundRecord
+	taskMSE []float64
+}
+
+// prepareImperfect defaults and validates the configuration and derives the
+// task party's half of the imperfect seed convention (splits 1, 3, 4, 5 —
+// split 2 belongs to the seller's bundle estimator).
+func (s *Session) prepareImperfect(params ImperfectParams) (*imperfectPolicy, error) {
+	cfg := s.cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
+	p := params.WithDefaults()
+	src := rng.New(cfg.Seed)
+	gainScale := gainScaleFor(cfg.TargetGain)
+	maxRate := math.Min(cfg.U, (cfg.Budget-cfg.InitBase)/cfg.TargetGain)
+	f := NewPriceEstimator(maxRate, cfg.Budget, gainScale, src.Split(1).Uint64())
+	pool := samplePricePool(cfg, p.PricePool, src.Split(3))
+	return &imperfectPolicy{
+		cfg: cfg, params: p, f: f, pool: pool,
+		open:       EquilibriumPrice(cfg.InitRate, cfg.InitBase, cfg.TargetGain),
+		exploreSrc: src.Split(4),
+		replaySrc:  src.Split(5),
+	}, nil
+}
 
-	exploreSrc := src.Split(4)
-	replaySrc := src.Split(5)
-	for T := 1; T <= s.MaxRounds; T++ {
-		if err := checkCtx(ctx, T); err != nil {
-			return nil, err
-		}
-		exploring := T <= cfg.ExplorationRounds
+func (p *imperfectPolicy) opening() QuotedPrice { return p.open }
 
-		// ---- Step 2 (data party): estimation-based bundle choice. ----
-		affordable := cat.Affordable(quote)
-		sellerAccepts := false
-		var bundleID int
-		switch {
-		case len(affordable) == 0 && exploring:
-			// Case VII relaxation of Case I: keep the game (and the
-			// estimator training) alive with a random catalog bundle.
-			bundleID = exploreSrc.IntN(cat.Len())
-		case len(affordable) == 0:
-			return finish(FailData) // Case I
-		case exploring:
-			// Coverage over affordable bundles while training g.
-			bundleID = affordable[exploreSrc.IntN(len(affordable))]
-		default:
-			knee := quote.TargetGain()
-			// Inventory-wide prediction range: Case II(2)/(3) ask whether
-			// the knee lies beyond anything the data party could ever
-			// deliver, with the εd margin absorbing estimation error.
-			minAll, maxAll := math.Inf(1), math.Inf(-1)
-			for i := range cat.Bundles {
-				pred := g.Predict(cat.Bundles[i].Features)
-				minAll = math.Min(minAll, pred)
-				maxAll = math.Max(maxAll, pred)
-			}
-			// Affordable-set selection: predicted gain closest to the knee
-			// from below, falling back to the gentlest overshoot; track the
-			// best and worst predicted bundles for the Case II offers.
-			bestBelow, bestAbove := -1, -1
-			var bestBelowPred, bestAbovePred float64
-			maxID, minID := affordable[0], affordable[0]
-			var maxPred, minPred float64 = math.Inf(-1), math.Inf(1)
-			for _, id := range affordable {
-				pred := g.Predict(cat.Bundles[id].Features)
-				if pred > maxPred {
-					maxPred, maxID = pred, id
-				}
-				if pred < minPred {
-					minPred, minID = pred, id
-				}
-				if pred <= knee {
-					if bestBelow < 0 || pred > bestBelowPred {
-						bestBelow, bestBelowPred = id, pred
-					}
-				} else if bestAbove < 0 || pred < bestAbovePred {
-					bestAbove, bestAbovePred = id, pred
-				}
-			}
-			switch {
-			case knee-maxAll > s.EpsData:
-				// Case II(2): the knee is beyond the whole inventory — sell
-				// the best deliverable bundle.
-				bundleID, sellerAccepts = maxID, true
-			case minAll-knee > s.EpsData:
-				// Case II(3): even the weakest bundle overshoots the knee —
-				// the gentlest overshoot already earns the full ceiling.
-				bundleID, sellerAccepts = minID, true
-			default:
-				if bestBelow >= 0 {
-					bundleID = bestBelow
-				} else {
-					bundleID = bestAbove
-				}
-				if knee-g.Predict(cat.Bundles[bundleID].Features) <= s.EpsData {
-					// Case II(1): predicted knee match.
-					sellerAccepts = true
-				}
-			}
-		}
+func (p *imperfectPolicy) exploring(T int) bool { return T <= p.params.ExplorationRounds }
 
-		// ---- Step 3: VFL course realizes the gain; estimators train. ----
-		gain := cat.Gain(bundleID)
-		record(T, quote, bundleID, gain)
-		res.DataMSE = append(res.DataMSE, g.Update(cat.Bundles[bundleID].Features, gain))
-		res.TaskMSE = append(res.TaskMSE, f.Update(quote, gain))
-		// Experience replay: revisit past rounds so one sample per round is
-		// enough to converge within the exploration budget.
-		history := res.Rounds
-		for k := 0; k < cfg.ReplaySteps && len(history) > 1; k++ {
-			past := history[replaySrc.IntN(len(history))]
-			g.Update(cat.Bundles[past.BundleID].Features, past.Gain)
-			f.Update(past.Price, past.Gain)
-		}
+// barrenPatience is zero under imperfect information: a post-exploration
+// round with nothing affordable is the paper's Case I and ends the game
+// immediately (the seller never goes barren while exploring).
+func (p *imperfectPolicy) barrenPatience() int { return 0 }
 
-		if sellerAccepts && !exploring {
-			return finish(Success) // Case II
-		}
-
-		// ---- Step 1 of next round (task party): react to realized ΔG. ----
-		if !exploring {
-			if gain < BreakEvenGain(s.U, quote) {
-				return finish(FailTask) // Case IV
-			}
-			if gain >= quote.TargetGain()-s.EpsTask {
-				return finish(Success) // Case V
-			}
-			if taskAcceptsUnderCost(s.U, quote, gain, s.TaskCost, T, s.EpsTaskC) {
-				return finish(Success) // Case VI with cost
-			}
-		}
-		// Case VI / Case VII: generate the next offer from the pool. The
-		// exploration flag is for the round the quote will be used in.
-		quote = nextImperfectQuote(s, f, pool, T+1 <= cfg.ExplorationRounds, exploreSrc)
+// observe trains f on the realized round and replays past rounds so one
+// sample per round is enough to converge within the exploration budget.
+func (p *imperfectPolicy) observe(rec RoundRecord) {
+	p.taskMSE = append(p.taskMSE, p.f.Update(rec.Price, rec.Gain))
+	p.history = append(p.history, rec)
+	for k := 0; k < p.params.ReplaySteps && len(p.history) > 1; k++ {
+		past := p.history[p.replaySrc.IntN(len(p.history))]
+		p.f.Update(past.Price, past.Gain)
 	}
-	return finish(FailMaxRounds)
+}
+
+func (p *imperfectPolicy) next(cur QuotedPrice, nextRound int) (QuotedPrice, bool) {
+	if len(p.pool) == 0 {
+		// No rational escalation exists above the opening quote; the game
+		// stalls and fails by round exhaustion.
+		return cur, false
+	}
+	return nextImperfectQuote(p.cfg, p.f, p.pool, nextRound <= p.params.ExplorationRounds, p.exploreSrc), true
 }
 
 // nextImperfectQuote picks the task party's next offer: a random pool

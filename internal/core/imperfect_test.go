@@ -1,23 +1,22 @@
 package core
 
 import (
+	"context"
+	"reflect"
 	"testing"
 
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
 
-func imperfectFor(cat *Catalog, seed uint64) ImperfectConfig {
-	return ImperfectConfig{
-		Session:           sessionFor(cat, seed),
-		ExplorationRounds: 40,
-		PricePool:         120,
-	}
+func imperfectFor(cat *Catalog, seed uint64) (SessionConfig, ImperfectParams) {
+	return sessionFor(cat, seed), ImperfectParams{ExplorationRounds: 40, PricePool: 120}
 }
 
 func TestRunImperfectTerminates(t *testing.T) {
 	cat := testCatalog(t, 6, 61)
-	res, err := RunImperfect(cat, imperfectFor(cat, 61))
+	cfg, params := imperfectFor(cat, 61)
+	res, err := RunImperfect(cat, cfg, params)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,24 +34,25 @@ func TestRunImperfectTerminates(t *testing.T) {
 
 func TestRunImperfectNoTerminationDuringExploration(t *testing.T) {
 	cat := testCatalog(t, 6, 63)
-	cfg := imperfectFor(cat, 63)
-	res, err := RunImperfect(cat, cfg)
+	cfg, params := imperfectFor(cat, 63)
+	res, err := RunImperfect(cat, cfg, params)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rounds) < cfg.ExplorationRounds && res.Outcome != FailMaxRounds {
+	if len(res.Rounds) < params.ExplorationRounds && res.Outcome != FailMaxRounds {
 		t.Fatalf("terminated with %v after %d rounds, inside the %d-round exploration phase",
-			res.Outcome, len(res.Rounds), cfg.ExplorationRounds)
+			res.Outcome, len(res.Rounds), params.ExplorationRounds)
 	}
 }
 
 func TestRunImperfectDeterministic(t *testing.T) {
 	cat := testCatalog(t, 6, 65)
-	a, err := RunImperfect(cat, imperfectFor(cat, 9))
+	cfg, params := imperfectFor(cat, 9)
+	a, err := RunImperfect(cat, cfg, params)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunImperfect(cat, imperfectFor(cat, 9))
+	b, err := RunImperfect(cat, cfg, params)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,10 +70,10 @@ func TestRunImperfectDeterministic(t *testing.T) {
 // early-round MSE for both parties.
 func TestEstimatorMSEConverges(t *testing.T) {
 	cat := testCatalog(t, 8, 67)
-	cfg := imperfectFor(cat, 67)
-	cfg.ExplorationRounds = 120
-	cfg.Session.MaxRounds = 200
-	res, err := RunImperfect(cat, cfg)
+	cfg, params := imperfectFor(cat, 67)
+	params.ExplorationRounds = 120
+	cfg.MaxRounds = 200
+	res, err := RunImperfect(cat, cfg, params)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,8 +106,8 @@ func TestImperfectComparableToPerfect(t *testing.T) {
 		if pr.Outcome == Success {
 			perfectNet = append(perfectNet, pr.Final.NetProfit)
 		}
-		ic := imperfectFor(cat, s)
-		ir, err := RunImperfect(cat, ic)
+		ic, ip := imperfectFor(cat, s)
+		ir, err := RunImperfect(cat, ic, ip)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,12 +126,13 @@ func TestImperfectComparableToPerfect(t *testing.T) {
 
 func TestRunImperfectRejectsBadConfig(t *testing.T) {
 	cat := testCatalog(t, 4, 71)
-	cfg := imperfectFor(cat, 71)
-	cfg.Session.U = 0.01
-	if _, err := RunImperfect(cat, cfg); err == nil {
+	cfg, params := imperfectFor(cat, 71)
+	cfg.U = 0.01
+	if _, err := RunImperfect(cat, cfg, params); err == nil {
 		t.Fatal("expected config error")
 	}
-	if _, err := RunImperfect(&Catalog{}, imperfectFor(cat, 71)); err == nil {
+	good, _ := imperfectFor(cat, 71)
+	if _, err := RunImperfect(&Catalog{}, good, params); err == nil {
 		t.Fatal("expected empty catalog error")
 	}
 }
@@ -158,12 +159,74 @@ func TestSamplePricePoolSatisfiesEq5(t *testing.T) {
 
 func TestImperfectResultFinalMatchesLastRound(t *testing.T) {
 	cat := testCatalog(t, 6, 75)
-	res, err := RunImperfect(cat, imperfectFor(cat, 75))
+	cfg, params := imperfectFor(cat, 75)
+	res, err := RunImperfect(cat, cfg, params)
 	if err != nil {
 		t.Fatal(err)
 	}
 	last := res.Rounds[len(res.Rounds)-1]
 	if res.Final != last {
 		t.Fatal("Final is not the last round record")
+	}
+}
+
+// RunImperfectWith against an explicitly constructed EstimatorSeller must
+// replay RunImperfect bit for bit: the two entry points share the unified
+// loop and the imperfect seed convention, which is exactly what makes the
+// networked game (a remote EstimatorSeller) bit-identical too.
+func TestRunImperfectWithMatchesInProcess(t *testing.T) {
+	cat := testCatalog(t, 6, 77)
+	cfg, params := imperfectFor(cat, 77)
+	want, err := RunImperfect(cat, cfg, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seller := NewEstimatorSeller(cat, EstimatorSellerConfig{
+		Seed: cfg.Seed, Target: cfg.TargetGain, EpsData: cfg.EpsData, Params: params,
+	})
+	gains := GainFunc(func(features []int) float64 {
+		if id, ok := cat.FindBundle(features); ok {
+			return cat.Gain(id)
+		}
+		return 0
+	})
+	got, err := NewSession(cat, cfg).RunImperfectWith(context.Background(), params, seller, gains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("RunImperfectWith diverged from RunImperfect:\nwith:      outcome=%v rounds=%d final=%+v\nin-process: outcome=%v rounds=%d final=%+v",
+			got.Outcome, len(got.Rounds), got.Final, want.Outcome, len(want.Rounds), want.Final)
+	}
+}
+
+// The imperfect seller must never let the game terminate inside the
+// exploration phase: no Fail offers, no Accept commitments.
+func TestEstimatorSellerExplorationNeverTerminates(t *testing.T) {
+	cat := testCatalog(t, 6, 79)
+	cfg, params := imperfectFor(cat, 79)
+	seller := NewEstimatorSeller(cat, EstimatorSellerConfig{
+		Seed: cfg.Seed, Target: cfg.TargetGain, EpsData: cfg.EpsData, Params: params,
+	})
+	// A quote nothing in the catalog can satisfy.
+	starve := QuotedPrice{Rate: 1e-9, Base: 0, High: 1e-9}
+	for T := 1; T <= params.ExplorationRounds; T++ {
+		offer, err := seller.Offer(T, starve)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if offer.Fail || offer.Accept {
+			t.Fatalf("round %d: exploration offer terminated the game: %+v", T, offer)
+		}
+		rec := RoundRecord{Round: T, Price: starve, BundleID: offer.BundleID, Gain: cat.Gain(offer.BundleID)}
+		if err := seller.Settle(T, rec, SettleContinue); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if offer, _ := seller.Offer(params.ExplorationRounds+1, starve); !offer.Fail {
+		t.Fatal("post-exploration starvation quote was not a Case I fail")
+	}
+	if got := len(seller.DataMSE()); got != params.ExplorationRounds {
+		t.Fatalf("DataMSE has %d entries, want %d", got, params.ExplorationRounds)
 	}
 }

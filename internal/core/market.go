@@ -217,13 +217,17 @@ func (s *Session) RunPerfect(ctx context.Context) (*Result, error) {
 	if cat.Len() == 0 {
 		return nil, fmt.Errorf("core: empty catalog")
 	}
-	run, err := s.preparePerfect()
+	pol, err := s.preparePerfect()
 	if err != nil {
 		return nil, err
 	}
-	seller := &catalogSeller{cat: cat, cfg: run.cfg, src: run.src}
+	seller := &catalogSeller{cat: cat, cfg: pol.cfg, src: pol.src}
 	realize := func(o SellerOffer) float64 { return cat.Gain(o.BundleID) }
-	return s.bargain(ctx, run, seller, realize, cat.TargetBundle(run.cfg.TargetGain))
+	res := &Result{TargetBundleID: cat.TargetBundle(pol.cfg.TargetGain)}
+	if err := s.play(ctx, pol.cfg, pol, seller, realize, res); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // RunPerfectWith plays the task party's side of Algorithm 1 against an
@@ -240,35 +244,79 @@ func (s *Session) RunPerfectWith(ctx context.Context, seller Seller, gains GainP
 	if gains == nil {
 		return nil, fmt.Errorf("core: RunPerfectWith needs a gain provider")
 	}
-	run, err := s.preparePerfect()
+	pol, err := s.preparePerfect()
 	if err != nil {
 		return nil, err
 	}
 	realize := func(o SellerOffer) float64 { return gains.Gain(o.Features) }
-	return s.bargain(ctx, run, seller, realize, -1)
+	res := &Result{TargetBundleID: -1}
+	if err := s.play(ctx, pol.cfg, pol, seller, realize, res); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
-// perfectRun is the prepared state of one perfect-information game: the
-// defaulted configuration, the session's random stream, and the task
-// party's pre-sampled candidate quote pool.
-type perfectRun struct {
+// buyerPolicy is the task party's pricing policy — the half of the game
+// that differs between the two information regimes. The unified play loop
+// drives any policy against any Seller: the policy owns the opening quote,
+// the escalation path, the Case VII exploration schedule, and whatever it
+// learns from realized rounds; the loop owns rounds, records, observers,
+// and termination precedence.
+type buyerPolicy interface {
+	// opening returns the round-1 quote.
+	opening() QuotedPrice
+	// next returns the quote for round nextRound, given the current one;
+	// ok=false means no further quote exists (pool or budget exhausted).
+	next(cur QuotedPrice, nextRound int) (QuotedPrice, bool)
+	// exploring reports whether round T is an exploration round (Case VII:
+	// termination suppressed, quotes sampled for estimator coverage).
+	exploring(T int) bool
+	// observe feeds a realized round back into the policy (online
+	// estimator training under imperfect information; a no-op otherwise).
+	observe(rec RoundRecord)
+	// barrenPatience is how many consecutive Fail offers after round 1 the
+	// buyer tolerates before walking away.
+	barrenPatience() int
+}
+
+// perfectPolicy is the closed-form Eq. 5 pricing of Algorithm 1: a
+// pre-sampled candidate pool walked in ascending-ceiling order (or the
+// non-strategic escalations), no exploration, nothing to learn.
+type perfectPolicy struct {
 	cfg     SessionConfig
 	src     *rng.Source
 	pool    []QuotedPrice
-	opening QuotedPrice
+	poolIdx int
+	open    QuotedPrice
 }
+
+func (p *perfectPolicy) opening() QuotedPrice { return p.open }
+
+func (p *perfectPolicy) next(cur QuotedPrice, _ int) (QuotedPrice, bool) {
+	return nextQuote(p.cfg, cur, p.pool, &p.poolIdx, p.src)
+}
+
+func (p *perfectPolicy) exploring(int) bool { return false }
+
+func (p *perfectPolicy) observe(RoundRecord) {}
+
+// barrenPatience tolerates a bounded run of barren rounds: the first barren
+// round terminates the game only when it is the opening round (the paper's
+// Case 1); later ones are jitter artifacts of the quote path and are
+// tolerated while the task party keeps escalating.
+func (p *perfectPolicy) barrenPatience() int { return 25 }
 
 // preparePerfect defaults and validates the session configuration and
 // derives the random stream and candidate pool exactly as every perfect
 // run does — the stream consumption order is part of a seed's contract.
-func (s *Session) preparePerfect() (perfectRun, error) {
+func (s *Session) preparePerfect() (*perfectPolicy, error) {
 	cfg := s.cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
-		return perfectRun{}, err
+		return nil, err
 	}
 	quote := EquilibriumPrice(cfg.InitRate, cfg.InitBase, cfg.TargetGain)
 	if quote.High > cfg.Budget {
-		return perfectRun{}, fmt.Errorf("core: initial quote ceiling %v exceeds budget %v", quote.High, cfg.Budget)
+		return nil, fmt.Errorf("core: initial quote ceiling %v exceeds budget %v", quote.High, cfg.Budget)
 	}
 	src := rng.New(cfg.Seed)
 	// Algorithm 1 line 16: the strategic task party samples its candidate
@@ -280,22 +328,23 @@ func (s *Session) preparePerfect() (perfectRun, error) {
 		pool = samplePricePool(cfg, cfg.PriceSamples, src.Split(0x9001))
 		sort.Slice(pool, func(i, j int) bool { return pool[i].High < pool[j].High })
 	}
-	return perfectRun{cfg: cfg, src: src, pool: pool, opening: quote}, nil
+	return &perfectPolicy{cfg: cfg, src: src, pool: pool, open: quote}, nil
 }
 
-// bargain is the task party's game loop of Algorithm 1, played against any
-// Seller. It owns rounds, records, observers, termination precedence, and
-// quote escalation; the seller owns bundle selection and its own Case 2/3
-// commitments.
-func (s *Session) bargain(ctx context.Context, run perfectRun, seller Seller,
-	realize func(SellerOffer) float64, targetBundle int) (*Result, error) {
+// play drives the unified quote → offer → realize → settle protocol of one
+// bargaining session, whatever the information regime: the policy owns the
+// task party's quote path and exploration schedule, the seller owns bundle
+// selection and its own Case 2/3 commitments, realize prices the offered
+// bundle through the VFL course. It fills res (rounds, final record,
+// outcome, the seller's target-bundle hint) and streams to the session's
+// observers; a context or transport error abandons the run and is returned
+// instead.
+func (s *Session) play(ctx context.Context, cfg SessionConfig, policy buyerPolicy, seller Seller,
+	realize func(SellerOffer) float64, res *Result) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	cfg := run.cfg
-	res := &Result{TargetBundleID: targetBundle}
-	quote := run.opening
-	poolIdx := 0
+	quote := policy.opening()
 
 	record := func(T int, q QuotedPrice, bundleID int, gain float64) RoundRecord {
 		return RoundRecord{
@@ -306,44 +355,41 @@ func (s *Session) bargain(ctx context.Context, run perfectRun, seller Seller,
 			DataCost:  cfg.DataCost.At(T),
 		}
 	}
-	finish := func(outcome Outcome) (*Result, error) {
+	finish := func(outcome Outcome) error {
 		res.Outcome = outcome
 		if n := len(res.Rounds); n > 0 {
 			res.Final = res.Rounds[n-1]
 		}
 		s.notifyOutcome(*res)
-		return res, nil
+		return nil
 	}
 	// Abandon is best-effort: the walk-away outcome is decided locally, so
 	// a failure to notify the seller does not change it.
 	abandon := func(T int) { _ = seller.Abandon(T) }
 
 	// barren counts consecutive rounds in which the data party had nothing
-	// it could rationally offer. The first such round terminates the game
-	// only when it is the opening round (the paper's Case 1); later barren
-	// rounds are jitter artifacts of the quote path and are tolerated up to
-	// a patience bound while the task party keeps escalating.
-	const barrenPatience = 25
+	// it could rationally offer; the policy decides how many are tolerated.
+	patience := policy.barrenPatience()
 	barren := 0
 	for T := 1; T <= cfg.MaxRounds; T++ {
 		if err := checkCtx(ctx, T); err != nil {
-			return nil, err
+			return err
 		}
 		// ---- Step 2 (data party): choose a bundle under the quote. ----
 		offer, err := seller.Offer(T, quote)
 		if err != nil {
-			return nil, fmt.Errorf("core: round %d offer: %w", T, err)
+			return fmt.Errorf("core: round %d offer: %w", T, err)
 		}
 		if res.TargetBundleID < 0 && offer.TargetBundleID >= 0 {
 			res.TargetBundleID = offer.TargetBundleID
 		}
 		if offer.Fail {
 			barren++
-			if T == 1 || barren > barrenPatience {
+			if T == 1 || barren > patience {
 				abandon(T)
-				return finish(FailData) // Case 1
+				return finish(FailData) // Case 1 / Case I
 			}
-			next, ok := nextQuote(cfg, quote, run.pool, &poolIdx, run.src)
+			next, ok := policy.next(quote, T+1)
 			if !ok {
 				abandon(T)
 				return finish(FailMaxRounds)
@@ -358,32 +404,39 @@ func (s *Session) bargain(ctx context.Context, run perfectRun, seller Seller,
 		rec := record(T, quote, offer.BundleID, gain)
 		res.Rounds = append(res.Rounds, rec)
 		s.notifyRound(rec)
+		policy.observe(rec)
 
 		// Termination precedence: the seller's commitment (Cases 2/3)
 		// closes the deal before the task party's own checks; then Case 4
-		// (walk away), Case 5 (target met), Case 6 under cost.
+		// (walk away), Case 5 (target met), Case 6 under cost. During
+		// exploration (Case VII) the game never terminates: both parties
+		// keep sampling so the estimators train.
 		decision, outcome := SettleContinue, Success
-		switch {
-		case offer.Accept:
-			decision = SettleAccept
-		case gain < BreakEvenGain(cfg.U, quote):
-			// Case 4: negative net profit — walk away.
-			decision, outcome = SettleFail, FailTask
-		case gain >= quote.TargetGain()-cfg.EpsTask:
-			// Case 5: the target is met — pay.
-			decision = SettleAccept
-		case taskAcceptsUnderCost(cfg.U, quote, gain, cfg.TaskCost, T, cfg.EpsTaskC):
-			// Case 6 with cost: further rounds cannot recoup their cost.
-			decision = SettleAccept
+		if !policy.exploring(T) {
+			switch {
+			case offer.Accept:
+				decision = SettleAccept
+			case gain < BreakEvenGain(cfg.U, quote):
+				// Case 4: negative net profit — walk away.
+				decision, outcome = SettleFail, FailTask
+			case gain >= quote.TargetGain()-cfg.EpsTask:
+				// Case 5: the target is met — pay.
+				decision = SettleAccept
+			case taskAcceptsUnderCost(cfg.U, quote, gain, cfg.TaskCost, T, cfg.EpsTaskC):
+				// Case 6 with cost: further rounds cannot recoup their cost.
+				decision = SettleAccept
+			}
 		}
+		// The settlement is announced for every realized round — it is the
+		// realized-gain feedback an estimation-based seller trains on.
 		if err := seller.Settle(T, rec, decision); err != nil {
-			return nil, fmt.Errorf("core: round %d settlement: %w", T, err)
+			return fmt.Errorf("core: round %d settlement: %w", T, err)
 		}
 		if decision != SettleContinue {
 			return finish(outcome)
 		}
-		// Case 6: escalate the quote.
-		next, ok := nextQuote(cfg, quote, run.pool, &poolIdx, run.src)
+		// Case 6 / Case VII: escalate (or re-sample) the quote.
+		next, ok := policy.next(quote, T+1)
 		if !ok {
 			// The budget cannot support a better quote; the game stalls and
 			// the transaction fails by round exhaustion.

@@ -156,7 +156,7 @@ func TestImperfectSessionInvariantsProperty(t *testing.T) {
 			return true
 		}
 		cfg.MaxRounds = 150
-		res, err := RunImperfect(cat, ImperfectConfig{Session: cfg, ExplorationRounds: 30})
+		res, err := RunImperfect(cat, cfg, ImperfectParams{ExplorationRounds: 30})
 		if err != nil {
 			return false
 		}

@@ -3,6 +3,7 @@ package wire
 import (
 	"context"
 	"crypto/rand"
+	"fmt"
 	"math/big"
 	"net"
 	"time"
@@ -49,7 +50,7 @@ func (t *TaskClient) BargainContext(ctx context.Context, conn net.Conn) (*core.R
 }
 
 // BargainCodec runs the session over an established codec after the
-// server's Hello has been received — the entry point for the v2 handshake
+// server's Hello has been received — the entry point for the handshake
 // flow, where the frontend negotiated codec and market first.
 func (t *TaskClient) BargainCodec(ctx context.Context, c Codec, hello *Hello) (*core.Result, error) {
 	var reporter *secure.TaskReporter
@@ -68,15 +69,40 @@ func (t *TaskClient) BargainCodec(ctx context.Context, c Codec, hello *Hello) (*
 	return sess.RunPerfectWith(ctx, seller, t.Gains)
 }
 
+// BargainImperfectCodec runs one imperfect-information session over an
+// established codec after the v3 handshake opened it in ModeImperfect: the
+// identical estimation-based game loop as core.Session.RunImperfect, with
+// the remote data party serving bundles and acknowledging every settlement
+// with its estimator's MSE. The server must have been helloed with the
+// same ImperfectHello this client derived its session from, or the streams
+// diverge.
+func (t *TaskClient) BargainImperfectCodec(ctx context.Context, c Codec, hello *Hello, params core.ImperfectParams) (*core.ImperfectResult, error) {
+	if hello.Secure {
+		return nil, fmt.Errorf("wire: the imperfect regime needs cleartext settlement; the server settles under Paillier")
+	}
+	seller := &remoteSeller{
+		l:      link{c},
+		u:      t.Session.U,
+		target: t.Session.TargetGain,
+		ackMSE: true,
+	}
+	sess := core.NewSession(nil, t.Session).Observe(t.Observers...)
+	return sess.RunImperfectWith(ctx, params, seller, t.Gains)
+}
+
 // remoteSeller adapts the wire protocol's data party to core.Seller: each
 // Offer sends a Quote and waits for the server's bundle, each Settle
 // reports the decision (with the gain in clear, or the Eq. 2 payment under
-// Paillier), and Abandon is the clean walk-away notice.
+// Paillier), and Abandon is the clean walk-away notice. In imperfect mode
+// (ackMSE) every settlement additionally waits for the server's Ack and
+// collects its estimator MSE, implementing core.MSEReporter.
 type remoteSeller struct {
 	l        link
 	reporter *secure.TaskReporter
 	u        float64
 	target   float64
+	ackMSE   bool
+	mse      []float64
 }
 
 func (r *remoteSeller) Offer(round int, q core.QuotedPrice) (core.SellerOffer, error) {
@@ -110,9 +136,23 @@ func (r *remoteSeller) Settle(round int, rec core.RoundRecord, d core.SettleDeci
 	} else {
 		st.Gain = rec.Gain
 	}
-	return r.l.send(&Envelope{Kind: KindSettle, Settle: st})
+	if err := r.l.send(&Envelope{Kind: KindSettle, Settle: st}); err != nil {
+		return err
+	}
+	if r.ackMSE {
+		e, err := r.l.recv(KindAck)
+		if err != nil {
+			return err
+		}
+		r.mse = append(r.mse, e.Ack.DataMSE)
+	}
+	return nil
 }
 
 func (r *remoteSeller) Abandon(round int) error {
 	return r.l.send(&Envelope{Kind: KindSettle, Settle: &Settle{Round: round, Decision: DecisionFail}})
 }
+
+// DataMSE implements core.MSEReporter from the server's settlement
+// acknowledgements.
+func (r *remoteSeller) DataMSE() []float64 { return r.mse }

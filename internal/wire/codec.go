@@ -147,6 +147,8 @@ func payloadMissing(e *Envelope) bool {
 		return e.Settle == nil
 	case KindClientHello:
 		return e.Client == nil
+	case KindAck:
+		return e.Ack == nil
 	default:
 		return false
 	}
@@ -195,15 +197,18 @@ func WithIOTimeout(conn net.Conn, d time.Duration) net.Conn {
 	return deadlineConn{Conn: conn, d: d}
 }
 
-// handshakeMagic opens every v2 connection, followed by the codec name and
-// a newline.
-const handshakeMagic = "VFLM/2"
+// handshakeMagic opens every v3 connection, followed by the codec name and
+// a newline. Servers also accept the v2 spelling from older clients.
+const (
+	handshakeMagic   = "VFLM/3"
+	handshakeMagicV2 = "VFLM/2"
+)
 
 // maxHandshakeLen bounds the preamble line so garbage connections fail
 // fast.
 const maxHandshakeLen = 64
 
-// WriteHandshake sends the v2 preamble naming the codec the client will
+// WriteHandshake sends the v3 preamble naming the codec the client will
 // speak.
 func WriteHandshake(w io.Writer, codecName string) error {
 	if _, err := fmt.Fprintf(w, "%s %s\n", handshakeMagic, codecName); err != nil {
@@ -212,7 +217,7 @@ func WriteHandshake(w io.Writer, codecName string) error {
 	return nil
 }
 
-// ReadHandshake consumes the v2 preamble and returns the codec name the
+// ReadHandshake consumes the v2/v3 preamble and returns the codec name the
 // client announced.
 func ReadHandshake(br *bufio.Reader) (codecName string, err error) {
 	line, err := readLine(br, maxHandshakeLen)
@@ -220,7 +225,7 @@ func ReadHandshake(br *bufio.Reader) (codecName string, err error) {
 		return "", classify(fmt.Errorf("wire: handshake: %w", err))
 	}
 	fields := strings.Fields(line)
-	if len(fields) != 2 || fields[0] != handshakeMagic {
+	if len(fields) != 2 || (fields[0] != handshakeMagic && fields[0] != handshakeMagicV2) {
 		return "", fmt.Errorf("wire: handshake: bad preamble %q", line)
 	}
 	return fields[1], nil
@@ -262,10 +267,10 @@ func AcceptHandshake(conn net.Conn) (Codec, *ClientHello, error) {
 	return c, e.Client, nil
 }
 
-// ClientHandshake performs the client side of the v2 opening: preamble,
-// ClientHello, and the server's Hello (or its rejection, surfaced as an
-// error).
-func ClientHandshake(conn net.Conn, codecName, market string, listOnly bool) (Codec, *Hello, error) {
+// ClientHandshake performs the client side of the v3 opening: preamble,
+// the given ClientHello (its Version is forced to ProtocolVersion), and
+// the server's Hello (or its rejection, surfaced as an error).
+func ClientHandshake(conn net.Conn, codecName string, ch ClientHello) (Codec, *Hello, error) {
 	if err := WriteHandshake(conn, codecName); err != nil {
 		return nil, nil, err
 	}
@@ -274,10 +279,8 @@ func ClientHandshake(conn net.Conn, codecName, market string, listOnly bool) (Co
 		return nil, nil, err
 	}
 	l := link{c}
-	err = l.send(&Envelope{Kind: KindClientHello, Client: &ClientHello{
-		Version: ProtocolVersion, Market: market, ListOnly: listOnly,
-	}})
-	if err != nil {
+	ch.Version = ProtocolVersion
+	if err := l.send(&Envelope{Kind: KindClientHello, Client: &ch}); err != nil {
 		return nil, nil, err
 	}
 	e, err := l.recv(KindHello)

@@ -1,0 +1,196 @@
+package wire
+
+// Tests of the imperfect information regime over the wire: the §3.5
+// estimation-based game played through ServeImperfectCodec /
+// BargainImperfectCodec must be bit-identical to the in-process engine,
+// and every imperfect-specific failure path must end sessions cleanly.
+
+import (
+	"math"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// imperfectMarket builds the shared synthetic market with the imperfect
+// regime's looser tolerances.
+func imperfectMarket(t testing.TB, seed uint64) (*core.Catalog, core.SessionConfig, core.GainProvider, core.ImperfectParams) {
+	t.Helper()
+	cat, cfg, gains := buildMarket(t, seed)
+	cfg.EpsTask, cfg.EpsData = 5e-2, 5e-2
+	cfg.MaxRounds = 150
+	return cat, cfg, gains, core.ImperfectParams{ExplorationRounds: 40, PricePool: 120}
+}
+
+// runImperfectSession wires an imperfect client and server over net.Pipe.
+func runImperfectSession(t *testing.T, seed uint64) (*core.ImperfectResult, *SessionSummary) {
+	t.Helper()
+	cat, cfg, gains, params := imperfectMarket(t, seed)
+	srv, err := NewDataServer(cat, cfg.EpsData, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.EpsImperfect = cfg.EpsData
+	clientConn, serverConn := net.Pipe()
+	var (
+		sum    *SessionSummary
+		srvErr error
+		wg     sync.WaitGroup
+	)
+	ih := &ImperfectHello{
+		Seed: cfg.Seed, Target: cfg.TargetGain,
+		ExplorationRounds: params.ExplorationRounds, ReplaySteps: params.ReplaySteps,
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer serverConn.Close()
+		c, _ := NewCodec(CodecGob, serverConn, serverConn)
+		sum, srvErr = srv.ServeImperfectCodec(c, srv.Hello(), ih)
+	}()
+	c, _ := NewCodec(CodecGob, clientConn, clientConn)
+	he, err := link{c}.recv(KindHello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &TaskClient{Session: cfg, Gains: gains}
+	res, err := client.BargainImperfectCodec(nil, c, he.Hello, params)
+	clientConn.Close()
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	if srvErr != nil {
+		t.Fatalf("server: %v", srvErr)
+	}
+	return res, sum
+}
+
+func TestWireImperfectMatchesInProcess(t *testing.T) {
+	cat, cfg, _, params := imperfectMarket(t, 83)
+	want, err := core.RunImperfect(cat, cfg, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, sum := runImperfectSession(t, 83)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("networked imperfect session diverged from in-process:\nwire:   %v rounds=%d final=%+v mse=%d/%d\nengine: %v rounds=%d final=%+v mse=%d/%d",
+			got.Outcome, len(got.Rounds), got.Final, len(got.TaskMSE), len(got.DataMSE),
+			want.Outcome, len(want.Rounds), want.Final, len(want.TaskMSE), len(want.DataMSE))
+	}
+	if sum.Rounds != len(got.Rounds) {
+		t.Fatalf("server saw %d rounds, client %d", sum.Rounds, len(got.Rounds))
+	}
+	if (got.Outcome == core.Success) != sum.Closed {
+		t.Fatalf("close mismatch: client %v, server closed=%v", got.Outcome, sum.Closed)
+	}
+}
+
+func TestServeImperfectRefusesSecure(t *testing.T) {
+	cat, cfg, _, _ := imperfectMarket(t, 87)
+	srv, err := NewDataServer(cat, cfg.EpsData, true, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, serverConn := net.Pipe()
+	defer serverConn.Close()
+	c, _ := NewCodec(CodecGob, serverConn, serverConn)
+	if _, err := srv.ServeImperfectCodec(c, srv.Hello(), &ImperfectHello{Seed: 1, Target: 0.1}); err == nil {
+		t.Fatal("secure server accepted an imperfect session")
+	}
+}
+
+func TestServeImperfectRejectsBadHello(t *testing.T) {
+	cat, cfg, _, _ := imperfectMarket(t, 89)
+	srv, err := NewDataServer(cat, cfg.EpsData, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, serverConn := net.Pipe()
+	defer serverConn.Close()
+	c, _ := NewCodec(CodecGob, serverConn, serverConn)
+	if _, err := srv.ServeImperfectCodec(c, srv.Hello(), nil); err == nil {
+		t.Fatal("server accepted an imperfect session without parameters")
+	}
+	if _, err := srv.ServeImperfectCodec(c, srv.Hello(), &ImperfectHello{Seed: 1, Target: -2}); err == nil {
+		t.Fatal("server accepted a non-positive target gain")
+	}
+	if _, err := srv.ServeImperfectCodec(c, srv.Hello(), &ImperfectHello{Seed: 1, Target: math.Inf(1)}); err == nil {
+		t.Fatal("server accepted an infinite target gain")
+	}
+}
+
+// A settlement whose realized gain is not finite would silently poison the
+// server's estimator; the session must fail cleanly instead.
+func TestServeImperfectRejectsNonFiniteGain(t *testing.T) {
+	cat, cfg, _, _ := imperfectMarket(t, 91)
+	srv, err := NewDataServer(cat, cfg.EpsData, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientConn, serverConn := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() {
+		defer serverConn.Close()
+		c, _ := NewCodec(CodecGob, serverConn, serverConn)
+		_, err := srv.ServeImperfectCodec(c, srv.Hello(), &ImperfectHello{Seed: 3, Target: cfg.TargetGain})
+		errCh <- err
+	}()
+	c, _ := NewCodec(CodecGob, clientConn, clientConn)
+	l := link{c}
+	if _, err := l.recv(KindHello); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.send(&Envelope{Kind: KindQuote, Quote: &Quote{Rate: 10, Base: 2, High: 4, U: cfg.U, Target: cfg.TargetGain}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.recv(KindOffer); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.send(&Envelope{Kind: KindSettle, Settle: &Settle{Gain: math.NaN(), Decision: DecisionContinue}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("server trained on a NaN realized gain")
+	}
+	clientConn.Close()
+}
+
+// A well-framed Settle with no payload in the settlement slot must fail
+// the session cleanly, not panic the server.
+func TestServeImperfectRejectsPayloadlessSettle(t *testing.T) {
+	cat, cfg, _, _ := imperfectMarket(t, 93)
+	srv, err := NewDataServer(cat, cfg.EpsData, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientConn, serverConn := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() {
+		defer serverConn.Close()
+		c, _ := NewCodec(CodecGob, serverConn, serverConn)
+		_, err := srv.ServeImperfectCodec(c, srv.Hello(), &ImperfectHello{Seed: 3, Target: cfg.TargetGain})
+		errCh <- err
+	}()
+	c, _ := NewCodec(CodecGob, clientConn, clientConn)
+	l := link{c}
+	if _, err := l.recv(KindHello); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.send(&Envelope{Kind: KindQuote, Quote: &Quote{Rate: 10, Base: 2, High: 4, U: cfg.U, Target: cfg.TargetGain}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.recv(KindOffer); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.send(&Envelope{Kind: KindSettle}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("server accepted a payloadless settlement")
+	}
+	clientConn.Close()
+}

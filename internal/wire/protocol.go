@@ -8,20 +8,29 @@
 //
 // Protocol (codec-framed envelopes over one connection):
 //
-//	v2 handshake:
-//	  client → server  "VFLM/2 <codec>\n"      (ASCII preamble naming the codec)
-//	  client → server  ClientHello{version, market, listOnly}
-//	server → client  Hello{market, listing, optional public key} | Error
-//	loop:
+//	v3 handshake:
+//	  client → server  "VFLM/3 <codec>\n"      (ASCII preamble naming the codec)
+//	  client → server  ClientHello{version, market, mode, imperfect knobs, listOnly}
+//	server → client  Hello{market, modes, listing, optional public key} | Error
+//	loop (either information regime):
 //	  client → server  Quote{p, P0, Ph}
-//	  server → client  Offer{bundle} | Offer{Fail}      (Cases 1–3)
-//	  client → server  Settle{ΔG or Enc(payment), decision}  (Cases 4–6)
+//	  server → client  Offer{bundle} | Offer{Fail}      (Cases 1–3 / I–II)
+//	  client → server  Settle{ΔG or Enc(payment), decision}  (Cases 4–6 / IV–VI)
+//	  server → client  Ack{g's pre-update MSE}          (imperfect mode only)
 //	                   (a Settle sent instead of a Quote is a clean walk-away)
 //
-// The legacy v1 endpoints (DataServer.ServeConn, TaskClient.Bargain) skip
-// the handshake and speak gob with a server-first Hello, exactly as before.
-// Envelope framing is codec-agnostic (see Codec): gob for Go peers, JSON
-// for everyone else.
+// The handshake advertises the information regime: ClientHello.Mode selects
+// perfect (closed-form Eq. 5 pricing against the catalog policy) or
+// imperfect (§3.5 estimation-based bargaining, the server playing
+// core.EstimatorSeller and training on the realized gains each settlement
+// feeds back). Imperfect sessions require cleartext settlement — the
+// realized ΔG is the data party's training signal — so they are refused on
+// Paillier-settling servers.
+//
+// The legacy endpoints (DataServer.ServeConn, TaskClient.Bargain) skip the
+// handshake and speak gob with a server-first Hello, exactly as before; v2
+// preambles are still accepted. Envelope framing is codec-agnostic (see
+// Codec): gob for Go peers, JSON for everyone else.
 package wire
 
 import (
@@ -32,7 +41,18 @@ import (
 
 // ProtocolVersion is the current wire protocol version, carried in
 // ClientHello and echoed in Hello.
-const ProtocolVersion = 2
+const ProtocolVersion = 3
+
+// Information regimes named in the handshake.
+const (
+	// ModePerfect is bargaining under perfect performance information
+	// (Algorithm 1; the default when ClientHello.Mode is empty).
+	ModePerfect = "perfect"
+	// ModeImperfect is the §3.5 estimation-based bargaining: exploration
+	// rounds, online-learned ΔG estimators on both endpoints, experience
+	// replay.
+	ModeImperfect = "imperfect"
+)
 
 // Kind discriminates protocol envelopes.
 type Kind int
@@ -45,6 +65,7 @@ const (
 	KindSettle
 	KindClientHello
 	KindError
+	KindAck
 )
 
 // String implements fmt.Stringer.
@@ -62,6 +83,8 @@ func (k Kind) String() string {
 		return "client-hello"
 	case KindError:
 		return "error"
+	case KindAck:
+		return "ack"
 	default:
 		return "kind(" + strconv.Itoa(int(k)) + ")"
 	}
@@ -74,17 +97,43 @@ type BundleInfo struct {
 	Features []int
 }
 
-// ClientHello opens a v2 session: the task party names the protocol
-// version it speaks and the market it wants to bargain in.
+// ClientHello opens a v2/v3 session: the task party names the protocol
+// version it speaks, the market it wants to bargain in, and the
+// information regime it wants to play.
 type ClientHello struct {
 	// Version is the client's protocol version (ProtocolVersion).
 	Version int
 	// Market selects the engine on a multi-market server; "" picks the
 	// server's default (first registered) market.
 	Market string
+	// Mode names the information regime (ModePerfect, ModeImperfect); ""
+	// means perfect (and is what v2 clients send).
+	Mode string
+	// Imperfect carries the imperfect-regime parameters; required when Mode
+	// is ModeImperfect, ignored otherwise.
+	Imperfect *ImperfectHello
 	// ListOnly asks for the Hello (markets, listing, key) without opening a
 	// bargaining session; the server answers and closes.
 	ListOnly bool
+}
+
+// ImperfectHello is the imperfect-regime half of the handshake: the
+// mutually known §3.5 parameters the data party needs to construct the
+// exact estimation-based seller an in-process run would (see the imperfect
+// seed convention in core). The task party's candidate-pool size stays
+// private and never crosses the wire.
+type ImperfectHello struct {
+	// Seed is the session seed; the server derives its bundle-estimator
+	// seed and exploration/replay streams from it.
+	Seed uint64
+	// Target is the task party's target gain ΔG* (scales the server's
+	// estimator; also carried per-quote for legacy reasons).
+	Target float64
+	// ExplorationRounds is N of Case VII; <= 0 means the core default.
+	ExplorationRounds int
+	// ReplaySteps is the per-round experience-replay budget; <= 0 means
+	// the core default.
+	ReplaySteps int
 }
 
 // Hello announces a session: the data party publishes its listing and, when
@@ -97,6 +146,9 @@ type Hello struct {
 	Market string
 	// Markets lists every market the server serves.
 	Markets []string
+	// Modes lists the information regimes the server serves (v3; secure
+	// servers omit ModeImperfect, which needs cleartext settlement).
+	Modes   []string
 	Bundles []BundleInfo
 	Secure  bool
 	PubN    []byte // Paillier modulus when Secure
@@ -151,6 +203,18 @@ type Settle struct {
 	EncPayment []byte  // secure mode: Paillier ciphertext of the payment
 }
 
+// Ack is the server's answer to a settlement in imperfect mode: it
+// confirms the realized-gain feedback was absorbed and carries the bundle
+// estimator's pre-update squared error for the round — the data-party MSE
+// series of Figure 4, which is how a networked ImperfectResult stays
+// bit-identical to an in-process one.
+type Ack struct {
+	Round int
+	// DataMSE is g's pre-update squared error on the round's realized
+	// gain, in normalized gain units.
+	DataMSE float64
+}
+
 // ErrorMsg is a server-side rejection (unknown market, unsupported
 // version); the connection closes after it.
 type ErrorMsg struct {
@@ -166,6 +230,7 @@ type Envelope struct {
 	Settle *Settle      `json:",omitempty"`
 	Client *ClientHello `json:",omitempty"`
 	Err    *ErrorMsg    `json:",omitempty"`
+	Ack    *Ack         `json:",omitempty"`
 }
 
 func decisionOf(d core.SettleDecision) Decision {
@@ -176,5 +241,16 @@ func decisionOf(d core.SettleDecision) Decision {
 		return DecisionFail
 	default:
 		return DecisionContinue
+	}
+}
+
+func coreDecision(d Decision) core.SettleDecision {
+	switch d {
+	case DecisionAccept:
+		return core.SettleAccept
+	case DecisionFail:
+		return core.SettleFail
+	default:
+		return core.SettleContinue
 	}
 }

@@ -3,6 +3,7 @@ package wire
 import (
 	"crypto/rand"
 	"fmt"
+	"math"
 	"math/big"
 	"net"
 	"sync"
@@ -19,6 +20,10 @@ type DataServer struct {
 	Catalog *core.Catalog
 	// EpsData is εd of Case 2.
 	EpsData float64
+	// EpsImperfect is εd of the imperfect regime's Case II (it absorbs
+	// estimation error, so it is typically much larger than EpsData). 0
+	// falls back to EpsData.
+	EpsImperfect float64
 	// Secure enables Paillier settlement: the server generates a key pair
 	// per construction and publishes the public key in Hello.
 	Secure bool
@@ -99,12 +104,96 @@ func (s *DataServer) ServeConn(conn net.Conn) (*SessionSummary, error) {
 	return s.ServeCodec(newCodec(WithIOTimeout(conn, s.IOTimeout)).c, s.Hello())
 }
 
-// ServeCodec runs one bargaining session over an established codec: send
-// the hello, then answer quotes until the session settles or a party walks
-// away. It is the serving core shared by ServeConn and the multi-market
-// Server frontend (which performs the v2 handshake first).
+// ServeCodec runs one perfect-information bargaining session over an
+// established codec: send the hello, then answer quotes until the session
+// settles or a party walks away. It is the serving core shared by
+// ServeConn and the multi-market Server frontend (which performs the
+// handshake first).
 func (s *DataServer) ServeCodec(c Codec, hello *Hello) (*SessionSummary, error) {
-	l := link{c}
+	return s.serve(link{c}, hello, catalogAnswerer{s})
+}
+
+// ServeImperfectCodec runs one imperfect-information session over an
+// established codec: the server plays the §3.5 estimation-based data party
+// (core.EstimatorSeller), training its bundle estimator online from the
+// realized gains the client settles with and acknowledging every
+// settlement with the estimator's pre-update MSE — the feedback loop that
+// keeps a networked ImperfectResult bit-identical to an in-process one.
+func (s *DataServer) ServeImperfectCodec(c Codec, hello *Hello, ih *ImperfectHello) (*SessionSummary, error) {
+	if s.Secure {
+		return nil, fmt.Errorf("wire: the imperfect regime trains on realized gains and needs cleartext settlement; this server settles under Paillier")
+	}
+	if ih == nil {
+		return nil, fmt.Errorf("wire: imperfect session opened without parameters")
+	}
+	if !(ih.Target > 0) || math.IsInf(ih.Target, 0) {
+		return nil, fmt.Errorf("wire: imperfect session needs a positive finite target gain, got %v", ih.Target)
+	}
+	eps := s.EpsImperfect
+	if eps == 0 {
+		eps = s.EpsData
+	}
+	seller := core.NewEstimatorSeller(s.Catalog, core.EstimatorSellerConfig{
+		Seed:    ih.Seed,
+		Target:  ih.Target,
+		EpsData: eps,
+		Params: core.ImperfectParams{
+			ExplorationRounds: ih.ExplorationRounds,
+			ReplaySteps:       ih.ReplaySteps,
+		},
+	})
+	return s.serve(link{c}, hello, &estimatorAnswerer{seller: seller})
+}
+
+// answerer is the data party's per-session quoting brain: the stateless
+// catalog policy for the perfect regime, the online-learning estimator
+// seller for the imperfect one. The serve loop owns framing, walk-aways,
+// round caps, payments, and hooks; the answerer owns bundle selection and
+// whatever it learns from settlements.
+type answerer interface {
+	answer(round int, q core.QuotedPrice, u float64) core.SellerOffer
+	// settled absorbs a realized round; ack (when non-nil) is sent back to
+	// the client before the session advances.
+	settled(round int, rec core.RoundRecord, d core.SettleDecision) (ack *Ack, err error)
+}
+
+// catalogAnswerer is the perfect-information data party: the strategic
+// bundle policy over the true catalog gains, nothing to learn, no acks.
+type catalogAnswerer struct{ s *DataServer }
+
+func (a catalogAnswerer) answer(round int, q core.QuotedPrice, u float64) core.SellerOffer {
+	return core.AnswerQuote(a.s.Catalog, q, u, a.s.EpsData, a.s.DataCost, round, a.s.EpsDataC)
+}
+
+func (a catalogAnswerer) settled(int, core.RoundRecord, core.SettleDecision) (*Ack, error) {
+	return nil, nil
+}
+
+// estimatorAnswerer adapts core.EstimatorSeller to the serve loop: every
+// settlement trains the estimator and is acknowledged with its pre-update
+// MSE. Settlement gains must be finite — a NaN or Inf would silently
+// poison the estimator, so it fails the session instead.
+type estimatorAnswerer struct{ seller *core.EstimatorSeller }
+
+func (a *estimatorAnswerer) answer(round int, q core.QuotedPrice, _ float64) core.SellerOffer {
+	so, _ := a.seller.Offer(round, q) // the in-process seller cannot fail
+	return so
+}
+
+func (a *estimatorAnswerer) settled(round int, rec core.RoundRecord, d core.SettleDecision) (*Ack, error) {
+	if math.IsNaN(rec.Gain) || math.IsInf(rec.Gain, 0) {
+		return nil, fmt.Errorf("wire: round %d settled with non-finite realized gain %v", round, rec.Gain)
+	}
+	if err := a.seller.Settle(round, rec, d); err != nil {
+		return nil, err
+	}
+	return &Ack{Round: round, DataMSE: a.seller.LastMSE()}, nil
+}
+
+// serve runs one bargaining session over an established link with the
+// given answerer — the single server-side loop both information regimes
+// share.
+func (s *DataServer) serve(l link, hello *Hello, a answerer) (*SessionSummary, error) {
 	if err := l.send(&Envelope{Kind: KindHello, Hello: hello}); err != nil {
 		return nil, err
 	}
@@ -114,7 +203,7 @@ func (s *DataServer) ServeCodec(c Codec, hello *Hello) (*SessionSummary, error) 
 	}
 
 	sum := &SessionSummary{BundleID: -1}
-	// The buyer's target gain is constant for a session (v2 sends it
+	// The buyer's target gain is constant for a session (v2+ sends it
 	// verbatim; a legacy quote's knee equals it under Eq. 5), so the
 	// closest-bundle hint is computed once and refreshed only if the
 	// announced target actually moves.
@@ -144,20 +233,26 @@ func (s *DataServer) ServeCodec(c Codec, hello *Hello) (*SessionSummary, error) 
 			return sum, fmt.Errorf("wire: client sent invalid quote: %w", err)
 		}
 
-		so := core.AnswerQuote(s.Catalog, q, e.Quote.U, s.EpsData, s.DataCost, quotes, s.EpsDataC)
-		target := e.Quote.Target
-		if target <= 0 {
-			// Legacy clients do not send the exact ΔG*; the knee of an
-			// Eq. 5-conforming quote equals it.
-			target = q.TargetGain()
-		}
-		if target != lastTarget {
-			lastTarget, targetBundle = target, s.Catalog.TargetBundle(target)
+		so := a.answer(quotes, q, e.Quote.U)
+		if so.TargetBundleID < 0 {
+			// The catalog policy leaves the hint to the transport: derive
+			// it from the announced target (legacy clients do not send the
+			// exact ΔG*, but the knee of an Eq. 5-conforming quote equals
+			// it). The estimator seller computes its own hint, which must
+			// flow through untouched to preserve bit-identity.
+			target := e.Quote.Target
+			if target <= 0 {
+				target = q.TargetGain()
+			}
+			if target != lastTarget {
+				lastTarget, targetBundle = target, s.Catalog.TargetBundle(target)
+			}
+			so.TargetBundleID = targetBundle
 		}
 		offer := &Offer{
 			BundleID: so.BundleID, Features: so.Features,
 			Accept: so.Accept, Fail: so.Fail, Reason: so.Reason,
-			TargetBundleID: targetBundle,
+			TargetBundleID: so.TargetBundleID,
 		}
 		if err := l.send(&Envelope{Kind: KindOffer, Offer: offer}); err != nil {
 			return sum, err
@@ -178,11 +273,21 @@ func (s *DataServer) ServeCodec(c Codec, hello *Hello) (*SessionSummary, error) 
 		if err != nil {
 			return sum, err
 		}
+		rec := core.RoundRecord{
+			Round: quotes, Price: q, BundleID: offer.BundleID,
+			Gain: se.Settle.Gain, Payment: pay,
+		}
 		if s.OnRound != nil {
-			s.OnRound(core.RoundRecord{
-				Round: quotes, Price: q, BundleID: offer.BundleID,
-				Gain: se.Settle.Gain, Payment: pay,
-			})
+			s.OnRound(rec)
+		}
+		ack, aerr := a.settled(quotes, rec, coreDecision(se.Settle.Decision))
+		if aerr != nil {
+			return sum, aerr
+		}
+		if ack != nil {
+			if err := l.send(&Envelope{Kind: KindAck, Ack: ack}); err != nil {
+				return sum, err
+			}
 		}
 		switch se.Settle.Decision {
 		case DecisionAccept:

@@ -45,6 +45,26 @@ type SessionEvent struct {
 	Err error
 }
 
+// MarketMetrics is a point-in-time snapshot of one registered market:
+// session load split by information regime, plus the valuation-oracle
+// counters behind the market's catalog — the actual VFL training load an
+// operator pays for, not just connection counts. The oracle counters are 0
+// for synthetic-gain engines, which never train.
+type MarketMetrics struct {
+	// Sessions counts bargaining sessions served in this market (both
+	// regimes; listing-only connections excluded).
+	Sessions uint64
+	// ImperfectSessions is the subset of Sessions run under the imperfect
+	// information regime.
+	ImperfectSessions uint64
+	// OracleTrainings counts VFL courses the market's gain oracle actually
+	// trained (cache misses).
+	OracleTrainings int
+	// OracleCachedGains counts the bundle valuations the oracle has
+	// memoized.
+	OracleCachedGains int
+}
+
 // ServerMetrics is a point-in-time snapshot of a server's counters.
 type ServerMetrics struct {
 	// Accepted counts accepted connections.
@@ -128,11 +148,21 @@ type Server struct {
 	cfg serverConfig
 
 	mu      sync.RWMutex
-	markets map[string]*wire.DataServer
+	markets map[string]*market
 	order   []string // registration order; the first market is the default
 
 	accepted, sessions, closed, failed, rejected atomic.Uint64
 	active                                       atomic.Int64
+}
+
+// market is one registry entry: the wire endpoint, the engine behind it
+// (for oracle metrics), and per-market session counters.
+type market struct {
+	ds     *wire.DataServer
+	engine *Engine
+
+	sessions  atomic.Uint64
+	imperfect atomic.Uint64
 }
 
 // NewServer builds an empty multi-market server. Register at least one
@@ -142,7 +172,7 @@ func NewServer(opts ...ServerOption) *Server {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Server{cfg: cfg, markets: make(map[string]*wire.DataServer)}
+	return &Server{cfg: cfg, markets: make(map[string]*market)}
 }
 
 // Register adds a named market backed by the engine: its catalog is the
@@ -166,6 +196,10 @@ func (s *Server) Register(name string, e *Engine) error {
 	// acceptance fires over the wire exactly as it does in-process.
 	ds.DataCost = tmpl.DataCost
 	ds.EpsDataC = tmpl.EpsDataC
+	// The imperfect regime's Case II tolerance absorbs estimation error;
+	// carrying it here is what keeps networked imperfect sessions
+	// bit-identical to Engine.BargainImperfect on a mirrored engine.
+	ds.EpsImperfect = e.SessionImperfect().EpsData
 	if obs := s.cfg.roundObs; obs != nil {
 		ds.OnRound = obs.OnRound
 	}
@@ -174,7 +208,7 @@ func (s *Server) Register(name string, e *Engine) error {
 	if _, dup := s.markets[name]; dup {
 		return fmt.Errorf("vflmarket: market %q already registered", name)
 	}
-	s.markets[name] = ds
+	s.markets[name] = &market{ds: ds, engine: e}
 	s.order = append(s.order, name)
 	return nil
 }
@@ -196,6 +230,26 @@ func (s *Server) Metrics() ServerMetrics {
 		Rejected: s.rejected.Load(),
 		Active:   s.active.Load(),
 	}
+}
+
+// MarketMetrics snapshots every registered market's session counts and
+// valuation-oracle load, keyed by market name — the per-market view an
+// operator needs to see which catalog's VFL training is carrying the
+// traffic.
+func (s *Server) MarketMetrics() map[string]MarketMetrics {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]MarketMetrics, len(s.markets))
+	for name, m := range s.markets {
+		trainings, cached := m.engine.OracleStats()
+		out[name] = MarketMetrics{
+			Sessions:          m.sessions.Load(),
+			ImperfectSessions: m.imperfect.Load(),
+			OracleTrainings:   trainings,
+			OracleCachedGains: cached,
+		}
+	}
+	return out
 }
 
 // Serve accepts connections on the listener and bargains with each across
@@ -286,15 +340,45 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 
+	// Resolve the information regime the client asked for. Imperfect
+	// sessions train on realized gains, which must cross in clear, so a
+	// Paillier-settling server serves the perfect regime only.
+	mode := ch.Mode
+	if mode == "" {
+		mode = wire.ModePerfect
+	}
+	modes := []string{wire.ModePerfect}
+	if s.cfg.secureBits <= 0 {
+		modes = append(modes, wire.ModeImperfect)
+	}
+	supported := false
+	for _, m := range modes {
+		supported = supported || m == mode
+	}
+	if !supported {
+		s.rejected.Add(1)
+		err := fmt.Errorf("vflmarket: unsupported information regime %q (serving %v)", ch.Mode, modes)
+		wire.SendError(codec, "%v", err)
+		notify("", nil, err)
+		return
+	}
+	if mode == wire.ModeImperfect && !ch.ListOnly && ch.Imperfect == nil {
+		s.rejected.Add(1)
+		err := fmt.Errorf("vflmarket: imperfect session opened without parameters (seed, target, exploration rounds)")
+		wire.SendError(codec, "%v", err)
+		notify("", nil, err)
+		return
+	}
+
 	s.mu.RLock()
 	name := ch.Market
 	if name == "" && len(s.order) > 0 {
 		name = s.order[0]
 	}
-	ds := s.markets[name]
+	mkt := s.markets[name]
 	markets := append([]string(nil), s.order...)
 	s.mu.RUnlock()
-	if ds == nil {
+	if mkt == nil {
 		s.rejected.Add(1)
 		err := fmt.Errorf("vflmarket: unknown market %q (serving %v)", ch.Market, markets)
 		wire.SendError(codec, "%v", err)
@@ -302,10 +386,11 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 
-	hello := ds.Hello()
+	hello := mkt.ds.Hello()
 	hello.Version = wire.ProtocolVersion
 	hello.Market = name
 	hello.Markets = markets
+	hello.Modes = modes
 
 	if ch.ListOnly {
 		_ = codec.Send(&wire.Envelope{Kind: wire.KindHello, Hello: hello})
@@ -314,8 +399,16 @@ func (s *Server) handle(conn net.Conn) {
 	}
 
 	s.sessions.Add(1)
+	mkt.sessions.Add(1)
 	s.active.Add(1)
-	sum, serr := ds.ServeCodec(codec, hello)
+	var sum *SessionSummary
+	var serr error
+	if mode == wire.ModeImperfect {
+		mkt.imperfect.Add(1)
+		sum, serr = mkt.ds.ServeImperfectCodec(codec, hello, ch.Imperfect)
+	} else {
+		sum, serr = mkt.ds.ServeCodec(codec, hello)
+	}
 	s.active.Add(-1)
 	switch {
 	case serr != nil:

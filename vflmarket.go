@@ -35,6 +35,16 @@
 // exact same game loop as the in-process engine, its results are
 // bit-identical for the same seed and catalog.
 //
+// Both information regimes run over the same wire protocol: the handshake
+// names the regime, and Client.BargainImperfect plays the §3.5
+// estimation-based game — exploration rounds, online-learned ΔG estimators
+// on both endpoints, experience replay — against a remote data party that
+// trains on the realized gains each settlement feeds back. The same
+// bit-identity contract holds: a networked imperfect session reproduces
+// Engine.BargainImperfect exactly for the same seed and mirrored engines
+// (imperfect sessions settle in clear — the realized gain is the training
+// signal — so they are refused by Paillier-settling servers).
+//
 // The underlying pieces — the bargaining engines, the wire protocol, the
 // VFL simulator, the dataset generators, the experiment harness
 // regenerating every table and figure of the paper — live in internal
@@ -62,8 +72,9 @@ type (
 	CatalogConfig = core.CatalogConfig
 	// SessionConfig parameterizes one bargaining game.
 	SessionConfig = core.SessionConfig
-	// ImperfectConfig parameterizes estimation-based bargaining.
-	ImperfectConfig = core.ImperfectConfig
+	// ImperfectParams are the knobs of estimation-based bargaining
+	// (exploration rounds N, candidate pool, replay budget).
+	ImperfectParams = core.ImperfectParams
 	// Result is a bargaining trace and outcome.
 	Result = core.Result
 	// ImperfectResult adds the estimator learning curves.
