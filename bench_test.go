@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/exp"
+	"repro/internal/tree"
 	"repro/internal/vfl"
 )
 
@@ -234,6 +235,7 @@ func BenchmarkBargainBatch(b *testing.B) {
 		{"parallel", 0}, // GOMAXPROCS
 	} {
 		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := e.BargainBatch(context.Background(), specs, BatchOptions{
 					Workers: bench.workers,
@@ -244,6 +246,69 @@ func BenchmarkBargainBatch(b *testing.B) {
 				}
 				if len(res) != len(specs) {
 					b.Fatalf("results = %d", len(res))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOracleGain is the valuation parallelism sweep: each iteration
+// prices a fresh 9-bundle catalog of real VFL courses (8 bundles + the
+// isolated baseline) through GainOracle.Warm at the given worker count —
+// the pre-bargaining training pass catalog construction runs. Under the
+// singleflight oracle, distinct bundles train concurrently, so ns/op
+// should fall near-linearly from workers=1 to min(GOMAXPROCS, 8);
+// allocations/op track the vectorized trainer's buffer reuse. The forest
+// and MLP sub-sweeps cover both base models' training kernels.
+func BenchmarkOracleGain(b *testing.B) {
+	spec := dataset.Generate(dataset.Titanic, 11, 300)
+	problem := vfl.NewProblem(spec, 11, 0.3)
+	bundles := [][]int{{0}, {1}, {2}, {3}, {0, 1}, {2, 3}, {0, 3}, {0, 1, 2, 3}}
+	configs := []struct {
+		name string
+		cfg  vfl.Config
+	}{
+		{"mlp", vfl.Config{Model: vfl.MLP, Seed: 3, Hidden1: 32, Hidden2: 16, Epochs: 6}},
+		{"forest", vfl.Config{Model: vfl.RandomForest, Seed: 3,
+			Forest: tree.ForestConfig{NumTrees: 8, MaxDepth: 6}}},
+	}
+	for _, c := range configs {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(c.name+"/workers="+strconv.Itoa(workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					o := vfl.NewGainOracle(problem, c.cfg)
+					if err := o.Warm(context.Background(), bundles, workers); err != nil {
+						b.Fatal(err)
+					}
+					if o.Trainings() != len(bundles)+1 {
+						b.Fatalf("trainings = %d, want %d", o.Trainings(), len(bundles)+1)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEngineConstruction measures building a real-gain engine end to
+// end — dataset, problem, catalog with every bundle priced by actual VFL
+// training — serial (ValuationWorkers 1) vs the warmed worker pool (0 =
+// min(GOMAXPROCS, bundles) workers). This is the cold-start cost a market
+// service pays per registered market.
+func BenchmarkEngineConstruction(b *testing.B) {
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"warmed", 0},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewEngine("titanic", WithModel("mlp"), WithScale(0.25),
+					WithSeed(11), WithValuationWorkers(bench.workers)); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

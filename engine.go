@@ -29,6 +29,16 @@ func WithScale(scale float64) Option { return func(c *Config) { c.Scale = scale 
 // quote) is generated from.
 func WithSeed(seed uint64) Option { return func(c *Config) { c.Seed = seed } }
 
+// WithValuationWorkers bounds the valuation oracle's worker pool during
+// catalog construction: real-gain engines pre-price the catalog's bundles
+// with this many concurrent VFL training courses through
+// vfl.GainOracle.Warm. 0 (the default) means min(GOMAXPROCS, bundles); 1
+// restores serial pricing. Synthetic engines never train, so the knob is
+// inert for them.
+func WithValuationWorkers(n int) Option {
+	return func(c *Config) { c.ValuationWorkers = n }
+}
+
 // Engine is a built market environment — the data party's priced catalog
 // plus the task party's session template — ready to run any number of
 // bargaining sessions. An Engine is immutable after construction and safe
@@ -77,6 +87,7 @@ func NewEngineFromConfig(cfg Config) (*Engine, error) {
 	if cfg.Synthetic {
 		p.GainSource = exp.GainSynthetic
 	}
+	p.ValuationWorkers = cfg.ValuationWorkers
 	env, err := exp.BuildEnv(p, cfg.Seed)
 	if err != nil {
 		return nil, err

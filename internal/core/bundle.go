@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"repro/internal/bundlekey"
 	"repro/internal/rng"
 )
 
@@ -30,6 +32,33 @@ type GainFunc func(features []int) float64
 // Gain implements GainProvider.
 func (f GainFunc) Gain(features []int) float64 { return f(features) }
 
+// Warmer is implemented by gain providers that can pre-price many bundles
+// concurrently (vfl.GainOracle does). Catalog construction uses it to
+// replace the serial pre-bargaining training pass with a worker pool.
+type Warmer interface {
+	Warm(ctx context.Context, bundles [][]int, workers int) error
+}
+
+// WarmBundles pre-prices every bundle's features through the provider's
+// Warmer, when it has one and more than one worker is allowed (workers 0
+// means the warmer's default pool, 1 disables warming). Pricing is
+// memoized by the provider, so gain queries that follow all hit cache;
+// providers without a Warmer (synthetic gains, plain closures) are left
+// to be queried serially as before. NewCatalog calls it with
+// CatalogConfig.ValuationWorkers; callers of NewCatalogFromBundles who
+// want concurrent pricing call it themselves first.
+func WarmBundles(bundles []Bundle, gains GainProvider, workers int) {
+	w, ok := gains.(Warmer)
+	if !ok || workers == 1 || len(bundles) == 0 {
+		return
+	}
+	sets := make([][]int, len(bundles))
+	for i, b := range bundles {
+		sets[i] = b.Features
+	}
+	_ = w.Warm(context.Background(), sets, workers)
+}
+
 // Catalog is the data party's sell-side inventory F: the finite set of
 // feature bundles it offers, with their (privately known, in the perfect
 // information setting) gains.
@@ -54,6 +83,12 @@ type CatalogConfig struct {
 	CostSlope float64
 	// Noise is the multiplicative jitter on reserved prices. <= 0 means 0.08.
 	Noise float64
+	// ValuationWorkers bounds the worker pool pre-pricing the catalog when
+	// the gain provider supports concurrent warming (core.Warmer): the
+	// trusted third party trains distinct bundles in parallel instead of 32
+	// sequential VFL courses. 0 means min(GOMAXPROCS, bundles); 1 disables
+	// warming (serial pricing, the pre-warming behavior).
+	ValuationWorkers int
 }
 
 func (c CatalogConfig) withDefaults() CatalogConfig {
@@ -89,7 +124,7 @@ func NewCatalog(numFeatures int, cfg CatalogConfig, src *rng.Source, gains GainP
 	cat := &Catalog{}
 	add := func(features []int) {
 		sort.Ints(features)
-		key := fmt.Sprint(features)
+		key := bundlekey.Key(features)
 		if seen[key] {
 			return
 		}
@@ -122,6 +157,7 @@ func NewCatalog(numFeatures int, cfg CatalogConfig, src *rng.Source, gains GainP
 		}
 		add(src.Sample(numFeatures, k))
 	}
+	WarmBundles(cat.Bundles, gains, cfg.ValuationWorkers)
 	cat.gains = make([]float64, len(cat.Bundles))
 	for i, b := range cat.Bundles {
 		cat.gains[i] = gains.Gain(b.Features)
@@ -130,8 +166,11 @@ func NewCatalog(numFeatures int, cfg CatalogConfig, src *rng.Source, gains GainP
 	return cat
 }
 
-// NewCatalogFromBundles builds a catalog from explicit bundles, querying the
-// provider for gains. Bundle IDs are reassigned to positions.
+// NewCatalogFromBundles builds a catalog from explicit bundles, querying
+// the provider for gains. Bundle IDs are reassigned to positions. It is
+// the serial construction path — callers wanting the pre-priced worker
+// pool warm the provider first (WarmBundles) or build via NewCatalog with
+// CatalogConfig.ValuationWorkers.
 func NewCatalogFromBundles(bundles []Bundle, gains GainProvider) *Catalog {
 	cat := &Catalog{Bundles: append([]Bundle(nil), bundles...)}
 	cat.gains = make([]float64, len(cat.Bundles))
@@ -150,8 +189,10 @@ func (c *Catalog) buildIndex() {
 	}
 }
 
-// featureKey canonicalizes a feature set into a map key.
-func featureKey(features []int) string { return fmt.Sprint(sortedCopy(features)) }
+// featureKey canonicalizes a feature set into a map key — the catalog-side
+// name of the repo-wide canonical encoding in internal/bundlekey, shared
+// with the valuation oracle so both layers key bundles identically.
+func featureKey(features []int) string { return bundlekey.Key(features) }
 
 // Len returns the number of bundles.
 func (c *Catalog) Len() int { return len(c.Bundles) }
@@ -334,8 +375,3 @@ func (s *SyntheticGains) Gain(features []int) float64 {
 	return g
 }
 
-func sortedCopy(xs []int) []int {
-	out := append([]int(nil), xs...)
-	sort.Ints(out)
-	return out
-}

@@ -55,6 +55,10 @@ type Profile struct {
 	// GainRepeats averages each bundle's gain evaluation over independent
 	// trainings; datasets with tiny relative gains need more.
 	GainRepeats int
+	// ValuationWorkers bounds the oracle worker pool pre-pricing the
+	// catalog under GainVFL: 0 means min(GOMAXPROCS, bundles), 1 restores
+	// serial pricing.
+	ValuationWorkers int
 }
 
 // DefaultProfile returns the paper-aligned profile for a dataset and base
@@ -163,12 +167,16 @@ func BuildEnv(p Profile, seed uint64) (*Env, error) {
 			Repeats: p.GainRepeats,
 		}
 		oracle = vfl.NewGainOracle(problem, cfg)
-		provider = core.GainFunc(oracle.Gain)
+		// The oracle itself is the provider (not a GainFunc closure over it)
+		// so catalog construction sees its Warm method and pre-prices the
+		// inventory across the valuation worker pool.
+		provider = oracle
 	}
 	catalog := core.NewCatalog(numFeatures, core.CatalogConfig{
-		Size:     p.CatalogSize,
-		BaseRate: 8.5,
-		BaseBase: 1.25,
+		Size:             p.CatalogSize,
+		BaseRate:         8.5,
+		BaseBase:         1.25,
+		ValuationWorkers: p.ValuationWorkers,
 	}, src.Split(2), provider)
 	if p.GainSource == GainVFL {
 		catalog = repriceAndFilter(catalog, provider, src.Split(3))

@@ -82,7 +82,12 @@ type Param struct {
 	G []float64
 }
 
-// Dense is a fully connected layer y = act(Wx + b).
+// Dense is a fully connected layer y = act(Wx + b). It exposes both a
+// per-sample path (Forward/Backward) and a vectorized minibatch path
+// (ForwardBatch/BackwardBatch) over the same parameters; the batch path
+// reuses preallocated activation and gradient buffers across calls, and its
+// kernels keep the per-sample summation order, so the two paths produce
+// bit-identical gradients for the same samples.
 type Dense struct {
 	In, Out int
 	Act     Activation
@@ -92,6 +97,12 @@ type Dense struct {
 	dB      tensor.Vector
 	lastX   tensor.Vector // cached input of the last Forward
 	lastY   tensor.Vector // cached activated output of the last Forward
+
+	// Minibatch buffers, reused across ForwardBatch/BackwardBatch calls.
+	bX  *tensor.Matrix // cached input of the last ForwardBatch (caller-owned)
+	bY  *tensor.Matrix // cached activated outputs
+	bDZ *tensor.Matrix // pre-activation gradients
+	bDX *tensor.Matrix // input gradients handed back to the previous layer
 }
 
 // NewDense creates a dense layer with He-style initialisation (std
@@ -142,6 +153,53 @@ func (d *Dense) Backward(grad tensor.Vector) tensor.Vector {
 	return d.W.MulVecT(dz)
 }
 
+// ForwardBatch computes the layer outputs for a whole minibatch (rows of X
+// are samples) and caches the intermediates BackwardBatch needs. The
+// returned matrix is an internal buffer reused by the next ForwardBatch
+// call; callers must consume it before then. Row i is bit-identical to
+// Forward(X.Row(i)).
+func (d *Dense) ForwardBatch(X *tensor.Matrix) *tensor.Matrix {
+	if X.Cols != d.In {
+		panic(fmt.Sprintf("nn: Dense batch forward input %d, want %d", X.Cols, d.In))
+	}
+	d.bY = tensor.EnsureMatrix(d.bY, X.Rows, d.Out)
+	tensor.MulABtInto(d.bY, X, d.W)
+	for s := 0; s < X.Rows; s++ {
+		row := d.bY.Row(s)
+		for o := range row {
+			row[o] = d.Act.forward(row[o] + d.B[o])
+		}
+	}
+	d.bX = X
+	return d.bY
+}
+
+// BackwardBatch takes dL/dY for the last ForwardBatch (rows are samples),
+// accumulates parameter gradients sample by sample in row order, and
+// returns dL/dX (an internal buffer, valid until the next BackwardBatch).
+// The accumulated gradients are bit-identical to running Backward over the
+// batch one sample at a time in the same order.
+func (d *Dense) BackwardBatch(grad *tensor.Matrix) *tensor.Matrix {
+	if grad.Cols != d.Out || grad.Rows != d.bY.Rows {
+		panic(fmt.Sprintf("nn: Dense batch backward grad %dx%d, want %dx%d",
+			grad.Rows, grad.Cols, d.bY.Rows, d.Out))
+	}
+	d.bDZ = tensor.EnsureMatrix(d.bDZ, grad.Rows, d.Out)
+	for s := 0; s < grad.Rows; s++ {
+		grow, yrow, zrow := grad.Row(s), d.bY.Row(s), d.bDZ.Row(s)
+		for o, g := range grow {
+			zrow[o] = g * d.Act.derivFromOutput(yrow[o])
+		}
+	}
+	tensor.AddMulAtB(d.dW, d.bDZ, d.bX)
+	for s := 0; s < d.bDZ.Rows; s++ {
+		d.dB.AddScaled(1, d.bDZ.Row(s))
+	}
+	d.bDX = tensor.EnsureMatrix(d.bDX, grad.Rows, d.In)
+	tensor.MatMulInto(d.bDX, d.bDZ, d.W)
+	return d.bDX
+}
+
 // ZeroGrad clears the accumulated gradients.
 func (d *Dense) ZeroGrad() {
 	d.dW.Zero()
@@ -188,6 +246,26 @@ func (m *MLP) Forward(x tensor.Vector) tensor.Vector {
 func (m *MLP) Backward(grad tensor.Vector) tensor.Vector {
 	for i := len(m.Layers) - 1; i >= 0; i-- {
 		grad = m.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// ForwardBatch runs a whole minibatch (rows are samples) through all
+// layers. The returned matrix is a layer-owned buffer, valid until the next
+// batch call; row i is bit-identical to Forward on that sample.
+func (m *MLP) ForwardBatch(X *tensor.Matrix) *tensor.Matrix {
+	for _, l := range m.Layers {
+		X = l.ForwardBatch(X)
+	}
+	return X
+}
+
+// BackwardBatch propagates per-sample dL/dY rows through all layers,
+// accumulating gradients bit-identically to per-sample Backward calls in
+// row order, and returns dL/dX (a layer-owned buffer).
+func (m *MLP) BackwardBatch(grad *tensor.Matrix) *tensor.Matrix {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		grad = m.Layers[i].BackwardBatch(grad)
 	}
 	return grad
 }

@@ -72,7 +72,9 @@ type Classifier struct {
 }
 
 // TrainClassifier fits a binary MLP classifier on X (rows are samples) and
-// labels y using minibatch SGD on the BCE-with-logits loss.
+// labels y using minibatch SGD on the BCE-with-logits loss. Training runs
+// the vectorized minibatch path — whole-batch matrix kernels with reused
+// buffers — which is bit-identical to the per-sample loop it replaced.
 func TrainClassifier(X *tensor.Matrix, y []int, cfg TrainConfig) *Classifier {
 	cfg = cfg.withDefaults()
 	src := rng.New(cfg.Seed)
@@ -82,6 +84,7 @@ func TrainClassifier(X *tensor.Matrix, y []int, cfg TrainConfig) *Classifier {
 	opt.Momentum = 0.9
 	shuffle := src.Split(2)
 	n := X.Rows
+	var xb, gb *tensor.Matrix
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		perm := shuffle.Perm(n)
 		for start := 0; start < n; start += cfg.BatchSize {
@@ -89,12 +92,16 @@ func TrainClassifier(X *tensor.Matrix, y []int, cfg TrainConfig) *Classifier {
 			if end > n {
 				end = n
 			}
+			batch := perm[start:end]
+			xb = tensor.GatherRowsInto(xb, X, batch)
 			net.ZeroGrad()
-			for _, i := range perm[start:end] {
-				z := net.Forward(X.Row(i))
-				_, g := BCEWithLogitsGrad(z[0], y[i])
-				net.Backward(tensor.Vector{g / float64(end-start)})
+			out := net.ForwardBatch(xb)
+			gb = tensor.EnsureMatrix(gb, len(batch), 1)
+			for s, i := range batch {
+				_, g := BCEWithLogitsGrad(out.At(s, 0), y[i])
+				gb.Set(s, 0, g/float64(len(batch)))
 			}
+			net.BackwardBatch(gb)
 			if cfg.ClipNorm > 0 {
 				ClipGrads(net.Params(), cfg.ClipNorm)
 			}
@@ -118,11 +125,15 @@ func (c *Classifier) Predict(x tensor.Vector) int {
 	return 0
 }
 
-// PredictAll returns class decisions for every row of X.
+// PredictAll returns class decisions for every row of X through one
+// vectorized forward pass (bit-identical to per-row Predict).
 func (c *Classifier) PredictAll(X *tensor.Matrix) []int {
+	z := c.net.ForwardBatch(X)
 	out := make([]int, X.Rows)
 	for i := range out {
-		out[i] = c.Predict(X.Row(i))
+		if 1/(1+math.Exp(-z.At(i, 0))) >= 0.5 {
+			out[i] = 1
+		}
 	}
 	return out
 }

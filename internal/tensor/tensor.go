@@ -281,6 +281,108 @@ func (m *Matrix) AddOuter(alpha float64, u, v Vector) {
 	}
 }
 
+// EnsureMatrix reshapes m to rows×cols reusing its backing storage when it
+// is large enough, and allocates a fresh matrix otherwise. It is the buffer
+// primitive of the minibatch training kernels: activation and gradient
+// matrices are carried across epochs and resized to the (occasionally
+// shorter) tail batch without reallocating. The returned matrix's contents
+// are unspecified; callers overwrite them.
+func EnsureMatrix(m *Matrix, rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative matrix dimension")
+	}
+	if m == nil || cap(m.Data) < rows*cols {
+		return NewMatrix(rows, cols)
+	}
+	m.Rows, m.Cols = rows, cols
+	m.Data = m.Data[:rows*cols]
+	return m
+}
+
+// MulABtInto computes dst = a×bᵀ into a preallocated dst (a: M×K, b: N×K,
+// dst: M×N), overwriting dst. Each dst element is the dot product of one a
+// row with one b row — both contiguous — accumulated in ascending-k order
+// with no zero skipping, so a row of the result is bit-identical to the
+// per-sample b.MulVec(a.Row(i)): this is the batched forward kernel.
+func MulABtInto(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MulABtInto shape mismatch (%dx%d)×(%dx%d)ᵀ→(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := 0; j < b.Rows; j++ {
+			drow[j] = Vector(arow).Dot(Vector(b.Data[j*b.Cols : (j+1)*b.Cols]))
+		}
+	}
+}
+
+// MatMulInto computes dst = a×b into a preallocated dst, overwriting it. It
+// uses the same ascending-k accumulation and zero-skip as MatMul, so a row
+// of the result is bit-identical to the per-sample b.MulVecT(a.Row(i)):
+// this is the batched input-gradient kernel.
+func MatMulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch (%dx%d)×(%dx%d)→(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := dst.Data[i*b.Cols : (i+1)*b.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// AddMulAtB accumulates dst += aᵀ×b (a: S×M, b: S×N, dst: M×N) sample by
+// sample in ascending row order, skipping zero coefficients of a — exactly
+// the sum of the per-sample rank-1 updates dst.AddOuter(1, a.Row(s),
+// b.Row(s)) for s = 0..S-1, in that order. This is the batched
+// weight-gradient kernel; the fixed order keeps vectorized training
+// bit-identical to the per-sample loop it replaced.
+func AddMulAtB(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: AddMulAtB shape mismatch (%dx%d)ᵀ×(%dx%d)→(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for s := 0; s < a.Rows; s++ {
+		arow := a.Data[s*a.Cols : (s+1)*a.Cols]
+		brow := b.Data[s*b.Cols : (s+1)*b.Cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// GatherRowsInto copies the given rows of src into a preallocated dst
+// (reshaped to len(rows)×src.Cols through EnsureMatrix) and returns it. It
+// is the minibatch assembly primitive: training gathers a shuffled batch
+// with one bulk copy per row instead of per-sample row views.
+func GatherRowsInto(dst, src *Matrix, rows []int) *Matrix {
+	dst = EnsureMatrix(dst, len(rows), src.Cols)
+	for i, r := range rows {
+		copy(dst.Data[i*dst.Cols:(i+1)*dst.Cols], src.Data[r*src.Cols:(r+1)*src.Cols])
+	}
+	return dst
+}
+
 // FrobeniusNorm returns the Frobenius norm of m.
 func (m *Matrix) FrobeniusNorm() float64 {
 	s := 0.0

@@ -1,0 +1,116 @@
+package tensor
+
+// Tests of the batched training kernels: each must be bit-identical to the
+// per-sample operation it replaces (the vectorized NN path's determinism
+// rests on exactly this), and the buffer helpers must reuse storage.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func randMatrix(seed uint64, rows, cols int, sparse bool) *Matrix {
+	src := rng.New(seed)
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		v := src.Gauss(0, 1)
+		// Exact zeros exercise the zero-skip paths.
+		if sparse && src.IntN(3) == 0 {
+			v = 0
+		}
+		m.Data[i] = v
+	}
+	return m
+}
+
+func TestMulABtIntoMatchesMulVec(t *testing.T) {
+	X := randMatrix(1, 6, 4, false)
+	W := randMatrix(2, 5, 4, true)
+	dst := NewMatrix(6, 5)
+	MulABtInto(dst, X, W)
+	for s := 0; s < X.Rows; s++ {
+		want := W.MulVec(X.Row(s))
+		for o, v := range want {
+			if math.Float64bits(v) != math.Float64bits(dst.At(s, o)) {
+				t.Fatalf("dst[%d][%d] = %v, MulVec gives %v", s, o, dst.At(s, o), v)
+			}
+		}
+	}
+}
+
+func TestMatMulIntoMatchesMulVecT(t *testing.T) {
+	DZ := randMatrix(3, 6, 5, true) // sparse: exercise the zero skip
+	W := randMatrix(4, 5, 4, false)
+	dst := NewMatrix(6, 4)
+	dst.Fill(99) // MatMulInto must overwrite stale buffer contents
+	MatMulInto(dst, DZ, W)
+	for s := 0; s < DZ.Rows; s++ {
+		want := W.MulVecT(DZ.Row(s))
+		for j, v := range want {
+			if math.Float64bits(v) != math.Float64bits(dst.At(s, j)) {
+				t.Fatalf("dst[%d][%d] = %v, MulVecT gives %v", s, j, dst.At(s, j), v)
+			}
+		}
+	}
+}
+
+func TestAddMulAtBMatchesAddOuter(t *testing.T) {
+	DZ := randMatrix(5, 6, 5, true)
+	X := randMatrix(6, 6, 4, false)
+	got := NewMatrix(5, 4)
+	AddMulAtB(got, DZ, X)
+	want := NewMatrix(5, 4)
+	for s := 0; s < DZ.Rows; s++ {
+		want.AddOuter(1, DZ.Row(s), X.Row(s))
+	}
+	for i := range want.Data {
+		if math.Float64bits(want.Data[i]) != math.Float64bits(got.Data[i]) {
+			t.Fatalf("Data[%d] = %v, per-sample AddOuter gives %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestEnsureMatrixReusesStorage(t *testing.T) {
+	m := NewMatrix(8, 4)
+	tail := EnsureMatrix(m, 3, 4)
+	if &tail.Data[0] != &m.Data[0] {
+		t.Fatal("EnsureMatrix reallocated a shrinking reshape")
+	}
+	if tail.Rows != 3 || tail.Cols != 4 || len(tail.Data) != 12 {
+		t.Fatalf("reshaped to %dx%d len %d", tail.Rows, tail.Cols, len(tail.Data))
+	}
+	grown := EnsureMatrix(tail, 8, 4)
+	if &grown.Data[0] != &m.Data[0] {
+		t.Fatal("EnsureMatrix reallocated a growth within capacity")
+	}
+	bigger := EnsureMatrix(grown, 9, 4)
+	if bigger.Rows != 9 || len(bigger.Data) != 36 {
+		t.Fatalf("grew to %dx%d len %d", bigger.Rows, bigger.Cols, len(bigger.Data))
+	}
+	if from := EnsureMatrix(nil, 2, 2); from.Rows != 2 || from.Cols != 2 {
+		t.Fatal("EnsureMatrix(nil) failed")
+	}
+}
+
+func TestGatherRowsInto(t *testing.T) {
+	src := randMatrix(7, 6, 3, false)
+	var buf *Matrix
+	buf = GatherRowsInto(buf, src, []int{4, 0, 2})
+	for i, r := range []int{4, 0, 2} {
+		for j := 0; j < 3; j++ {
+			if buf.At(i, j) != src.At(r, j) {
+				t.Fatalf("gathered[%d][%d] = %v, want %v", i, j, buf.At(i, j), src.At(r, j))
+			}
+		}
+	}
+	// Reuse with a shorter row set keeps the same storage.
+	again := GatherRowsInto(buf, src, []int{1})
+	if &again.Data[0] != &buf.Data[0] {
+		t.Fatal("GatherRowsInto reallocated within capacity")
+	}
+	if again.Rows != 1 || again.At(0, 0) != src.At(1, 0) {
+		t.Fatal("GatherRowsInto reuse gathered wrong rows")
+	}
+}

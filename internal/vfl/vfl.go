@@ -16,11 +16,12 @@
 package vfl
 
 import (
+	"context"
 	"fmt"
-	"sort"
-	"strings"
+	"runtime"
 	"sync"
 
+	"repro/internal/bundlekey"
 	"repro/internal/dataset"
 	"repro/internal/metrics"
 	"repro/internal/rng"
@@ -218,12 +219,8 @@ func (p *Problem) trainSplitMLP(cfg Config, taskCols, dataCols []int) Result {
 	}
 	yte := gatherLabels(p.Split.Y, p.TestRows)
 	preds := make([]int, len(p.TestRows))
-	for i := range preds {
-		var xd tensor.Vector
-		if XteData != nil {
-			xd = XteData.Row(i)
-		}
-		if m.PredictProba(XteTask.Row(i), xd) >= 0.5 {
+	for i, pr := range m.PredictProbaBatch(XteTask, XteData) {
+		if pr >= 0.5 {
 			preds[i] = 1
 		}
 	}
@@ -241,18 +238,18 @@ func (p *Problem) Gain(cfg Config, bundleFeatures []int) float64 {
 }
 
 // BundleKey canonicalizes a bundle (set of data-party original-feature
-// indices) into a map key: sorted, comma-joined.
-func BundleKey(features []int) string {
-	s := append([]int(nil), features...)
-	sort.Ints(s)
-	var b strings.Builder
-	for i, f := range s {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		fmt.Fprintf(&b, "%d", f)
-	}
-	return b.String()
+// indices) into a map key: sorted, comma-joined. It is the oracle-side name
+// of the repo-wide canonical encoding in internal/bundlekey.
+func BundleKey(features []int) string { return bundlekey.Key(features) }
+
+// flight is one in-progress valuation: waiters block on done and then read
+// value. retry is set when the flight died without producing a value (the
+// training panicked), telling waiters to start over rather than consume a
+// zero.
+type flight struct {
+	done  chan struct{}
+	value float64
+	retry bool
 }
 
 // GainOracle memoizes per-bundle performance gains. It plays the role of the
@@ -260,19 +257,23 @@ func BundleKey(features []int) string {
 // gain of a bundle without touching the other side's raw features, and each
 // distinct bundle is trained at most once.
 //
-// An oracle is safe for concurrent use: the memo and training counters are
-// mutex-guarded, so several engines or environments may be built from one
-// oracle at once (concurrent cache misses on the same bundle may each train
-// it, with the last result winning — trainings are deterministic in the
-// config seed, so the value is the same either way).
+// An oracle is safe for concurrent use and never serializes distinct
+// bundles: the mutex guards only the memo map and a per-key in-flight
+// registry, while VFL courses train outside it. Concurrent misses on the
+// same bundle coalesce into a single flight — the first caller trains, the
+// rest wait on its result — so each distinct bundle trains exactly once no
+// matter how many goroutines race on it, and misses on different bundles
+// train truly concurrently.
 type GainOracle struct {
 	Problem *Problem
 	Config  Config
 
-	mu       sync.Mutex
-	baseline float64
-	hasBase  bool
-	cache    map[string]float64
+	mu         sync.Mutex
+	baseline   float64
+	hasBase    bool
+	baseFlight *flight
+	cache      map[string]float64
+	inflight   map[string]*flight
 	// trainings counts actual (non-cached) VFL courses, for the ablation
 	// bench quantifying what caching saves.
 	trainings int
@@ -280,7 +281,12 @@ type GainOracle struct {
 
 // NewGainOracle builds an oracle over a problem and training config.
 func NewGainOracle(p *Problem, cfg Config) *GainOracle {
-	return &GainOracle{Problem: p, Config: cfg, cache: make(map[string]float64)}
+	return &GainOracle{
+		Problem:  p,
+		Config:   cfg,
+		cache:    make(map[string]float64),
+		inflight: make(map[string]*flight),
+	}
 }
 
 // repeats returns the configured evaluation-averaging count (at least 1).
@@ -291,48 +297,203 @@ func (o *GainOracle) repeats() int {
 	return o.Config.Repeats
 }
 
-// Baseline returns the isolated-training accuracy M0 (averaged over the
-// configured repeats), training it on first use.
-func (o *GainOracle) Baseline() float64 {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.baselineLocked()
+// repeatCfg is the config of the i-th independently seeded evaluation run.
+func (o *GainOracle) repeatCfg(i int) Config {
+	cfg := o.Config
+	cfg.Seed = o.Config.Seed + uint64(i)*101
+	return cfg
 }
 
-func (o *GainOracle) baselineLocked() float64 {
-	if !o.hasBase {
-		sum := 0.0
-		for i := 0; i < o.repeats(); i++ {
-			cfg := o.Config
-			cfg.Seed = o.Config.Seed + uint64(i)*101
-			sum += o.Problem.TrainIsolated(cfg).Accuracy
-			o.trainings++
+// Baseline returns the isolated-training accuracy M0 (averaged over the
+// configured repeats), training it on first use. Concurrent first uses
+// coalesce into one training flight.
+func (o *GainOracle) Baseline() float64 {
+	for {
+		o.mu.Lock()
+		if o.hasBase {
+			b := o.baseline
+			o.mu.Unlock()
+			return b
 		}
-		o.baseline = sum / float64(o.repeats())
-		o.hasBase = true
+		if f := o.baseFlight; f != nil {
+			o.mu.Unlock()
+			<-f.done
+			if f.retry {
+				continue
+			}
+			return f.value
+		}
+		f := &flight{done: make(chan struct{})}
+		o.baseFlight = f
+		o.mu.Unlock()
+
+		ok := false
+		defer func() {
+			if !ok {
+				o.abandonBaseline(f)
+			}
+		}()
+		sum := 0.0
+		n := o.repeats()
+		for i := 0; i < n; i++ {
+			sum += o.Problem.TrainIsolated(o.repeatCfg(i)).Accuracy
+		}
+		b := sum / float64(n)
+		ok = true
+
+		f.value = b
+		o.mu.Lock()
+		o.baseline, o.hasBase = b, true
+		o.baseFlight = nil
+		o.trainings += n
+		o.mu.Unlock()
+		close(f.done)
+		return b
 	}
-	return o.baseline
+}
+
+// abandonBaseline releases a baseline flight whose training panicked so
+// waiters re-drive the evaluation instead of consuming a zero.
+func (o *GainOracle) abandonBaseline(f *flight) {
+	o.mu.Lock()
+	if o.baseFlight == f {
+		o.baseFlight = nil
+	}
+	o.mu.Unlock()
+	f.retry = true
+	close(f.done)
 }
 
 // Gain returns ΔG for the bundle (averaged over the configured repeats),
-// training the VFL courses only on a cache miss.
+// training the VFL courses only on a cache miss. Training runs outside the
+// oracle lock: concurrent misses on the same bundle wait on one flight,
+// misses on distinct bundles train concurrently.
 func (o *GainOracle) Gain(features []int) float64 {
 	key := BundleKey(features)
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	if g, ok := o.cache[key]; ok {
-		return g
+	for {
+		o.mu.Lock()
+		if g, ok := o.cache[key]; ok {
+			o.mu.Unlock()
+			return g
+		}
+		if f, ok := o.inflight[key]; ok {
+			o.mu.Unlock()
+			<-f.done
+			if f.retry {
+				continue
+			}
+			return f.value
+		}
+		f := &flight{done: make(chan struct{})}
+		o.inflight[key] = f
+		o.mu.Unlock()
+		return o.fly(key, features, f)
 	}
+}
+
+// fly trains the bundle's courses outside the lock and publishes the result
+// to the cache and to every waiter of the flight. A panic in training (e.g.
+// an out-of-range feature index) abandons the flight so waiters retry — and
+// then propagate the same panic themselves.
+func (o *GainOracle) fly(key string, features []int, f *flight) float64 {
+	ok := false
+	defer func() {
+		if !ok {
+			o.mu.Lock()
+			if o.inflight[key] == f {
+				delete(o.inflight, key)
+			}
+			o.mu.Unlock()
+			f.retry = true
+			close(f.done)
+		}
+	}()
 	sum := 0.0
-	for i := 0; i < o.repeats(); i++ {
-		cfg := o.Config
-		cfg.Seed = o.Config.Seed + uint64(i)*101
-		sum += o.Problem.TrainVFL(cfg, features).Accuracy
-		o.trainings++
+	n := o.repeats()
+	for i := 0; i < n; i++ {
+		sum += o.Problem.TrainVFL(o.repeatCfg(i), features).Accuracy
 	}
-	g := metrics.PerformanceGain(sum/float64(o.repeats()), o.baselineLocked())
+	g := metrics.PerformanceGain(sum/float64(n), o.Baseline())
+	ok = true
+
+	f.value = g
+	o.mu.Lock()
 	o.cache[key] = g
+	delete(o.inflight, key)
+	o.trainings += n
+	o.mu.Unlock()
+	close(f.done)
 	return g
+}
+
+// Warm pre-prices a set of bundles across a bounded worker pool (workers
+// <= 0 means min(GOMAXPROCS, len(bundles)) — training is CPU-bound, so
+// more workers than cores only multiplies peak memory), so a catalog build
+// — 32 sequential VFL courses before this existed — saturates the hardware
+// instead. Already cached bundles cost a map hit; duplicate bundles in the
+// input coalesce through the singleflight. Warm returns the first context
+// error once the bundles already being priced finish; bundles not yet
+// started are skipped. A panic in a training course (e.g. an out-of-range
+// feature index) is re-raised on the caller's goroutine.
+func (o *GainOracle) Warm(ctx context.Context, bundles [][]int, workers int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(bundles) == 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(bundles) {
+		workers = len(bundles)
+	}
+	// Price the baseline first: every gain evaluation needs M0, so warming
+	// it up-front keeps the workers from all queueing on its flight.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	o.Baseline()
+
+	var (
+		panicOnce sync.Once
+		panicked  any
+	)
+	next := make(chan []int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range next {
+				func() {
+					// A panic on a bare goroutine would abort the whole
+					// process; capture the first one and re-raise it on the
+					// caller's goroutine instead, as a serial build would.
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() { panicked = r })
+						}
+					}()
+					o.Gain(b)
+				}()
+			}
+		}()
+	}
+feed:
+	for _, b := range bundles {
+		select {
+		case next <- b:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return ctx.Err()
 }
 
 // Trainings returns the number of actual (non-cached) training courses run

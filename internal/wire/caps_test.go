@@ -1,0 +1,71 @@
+package wire
+
+// Unit tests of the v3 hardening caps: the server refuses client-supplied
+// imperfect work factors (exploration rounds N, replay steps) above its
+// caps before building any session state.
+
+import (
+	"net"
+	"strings"
+	"testing"
+)
+
+func TestValidateImperfectHelloCaps(t *testing.T) {
+	srv := &DataServer{}
+	ok := &ImperfectHello{Seed: 1, Target: 0.1, ExplorationRounds: 100, ReplaySteps: 4}
+	if err := srv.ValidateImperfectHello(ok); err != nil {
+		t.Fatalf("paper-scale hello refused: %v", err)
+	}
+	atCap := &ImperfectHello{Seed: 1, Target: 0.1,
+		ExplorationRounds: DefaultMaxExplorationRounds, ReplaySteps: DefaultMaxReplaySteps}
+	if err := srv.ValidateImperfectHello(atCap); err != nil {
+		t.Fatalf("hello at the caps refused: %v", err)
+	}
+	if err := srv.ValidateImperfectHello(nil); err == nil {
+		t.Fatal("nil hello accepted")
+	}
+	overN := &ImperfectHello{Seed: 1, Target: 0.1, ExplorationRounds: DefaultMaxExplorationRounds + 1}
+	if err := srv.ValidateImperfectHello(overN); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("abusive exploration budget: err = %v, want a cap refusal", err)
+	}
+	overReplay := &ImperfectHello{Seed: 1, Target: 0.1, ReplaySteps: DefaultMaxReplaySteps + 1}
+	if err := srv.ValidateImperfectHello(overReplay); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("abusive replay budget: err = %v, want a cap refusal", err)
+	}
+
+	// Tighter per-server caps override the defaults.
+	tight := &DataServer{MaxExplorationRounds: 50, MaxReplaySteps: 2}
+	if err := tight.ValidateImperfectHello(ok); err == nil {
+		t.Fatal("hello above a tightened cap accepted")
+	}
+	if err := tight.ValidateImperfectHello(&ImperfectHello{Seed: 1, Target: 0.1,
+		ExplorationRounds: 50, ReplaySteps: 2}); err != nil {
+		t.Fatalf("hello at tightened caps refused: %v", err)
+	}
+	// A zero hello means the core defaults (100 exploration rounds, 4
+	// replay steps); the caps apply to those resolved values, so "just use
+	// defaults" cannot sneak past a server capped below them.
+	if err := tight.ValidateImperfectHello(&ImperfectHello{Seed: 1, Target: 0.1}); err == nil {
+		t.Fatal("zero hello bypassed a cap set below the core defaults")
+	}
+	if err := srv.ValidateImperfectHello(&ImperfectHello{Seed: 1, Target: 0.1}); err != nil {
+		t.Fatalf("zero hello refused under the default caps: %v", err)
+	}
+}
+
+func TestServeImperfectRefusesAbusiveHello(t *testing.T) {
+	cat, cfg, _, _ := imperfectMarket(t, 97)
+	srv, err := NewDataServer(cat, cfg.EpsData, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, serverConn := net.Pipe()
+	defer serverConn.Close()
+	c, _ := NewCodec(CodecGob, serverConn, serverConn)
+	abusive := &ImperfectHello{Seed: 1, Target: cfg.TargetGain,
+		ExplorationRounds: DefaultMaxExplorationRounds + 1}
+	// The refusal happens before any write, so the unread pipe never blocks.
+	if _, err := srv.ServeImperfectCodec(c, srv.Hello(), abusive); err == nil {
+		t.Fatal("server served an abusive exploration budget")
+	}
+}

@@ -29,6 +29,16 @@ type DataServer struct {
 	Secure bool
 	// MaxRounds guards against runaway clients. <= 0 means 1000.
 	MaxRounds int
+	// MaxExplorationRounds caps the client-supplied N of the imperfect
+	// handshake (ImperfectHello.ExplorationRounds): every exploration round
+	// is estimator compute the server pays for, so a production server
+	// refuses abusive asks instead of serving them. <= 0 means
+	// DefaultMaxExplorationRounds.
+	MaxExplorationRounds int
+	// MaxReplaySteps caps the client-supplied per-round experience-replay
+	// budget (ImperfectHello.ReplaySteps), the multiplier on the server's
+	// per-settlement estimator compute. <= 0 means DefaultMaxReplaySteps.
+	MaxReplaySteps int
 	// IOTimeout bounds every read and write on connections handled by
 	// ServeConn, so a stalled or vanished client ends the session with an
 	// ErrPeerTimeout-wrapped error instead of hanging it forever. 0 means
@@ -50,6 +60,47 @@ type DataServer struct {
 
 	listingOnce sync.Once
 	listing     []BundleInfo
+}
+
+// Default server-side caps on the client-supplied work factors of the
+// imperfect handshake. Both sit well above the paper's settings (N = 100,
+// 4 replay steps) while bounding what one hello can make the server compute.
+const (
+	DefaultMaxExplorationRounds = 1000
+	DefaultMaxReplaySteps       = 64
+)
+
+// ValidateImperfectHello checks the hello's work factors against the
+// server's caps, returning the refusal error for an abusive ask. The caps
+// apply to the values the session will actually run with — a zero hello
+// field means the core default (100 exploration rounds, 4 replay steps),
+// and that resolved value is what must clear the cap, so a server capped
+// below the defaults cannot be bypassed by asking for "default". The serve
+// path runs this before any session state is built and sends the error
+// back as a refusal envelope.
+func (s *DataServer) ValidateImperfectHello(ih *ImperfectHello) error {
+	if ih == nil {
+		return fmt.Errorf("wire: imperfect session opened without parameters")
+	}
+	eff := core.ImperfectParams{
+		ExplorationRounds: ih.ExplorationRounds,
+		ReplaySteps:       ih.ReplaySteps,
+	}.WithDefaults()
+	maxN := s.MaxExplorationRounds
+	if maxN <= 0 {
+		maxN = DefaultMaxExplorationRounds
+	}
+	if eff.ExplorationRounds > maxN {
+		return fmt.Errorf("wire: refused: %d exploration rounds exceed this server's cap of %d", eff.ExplorationRounds, maxN)
+	}
+	maxReplay := s.MaxReplaySteps
+	if maxReplay <= 0 {
+		maxReplay = DefaultMaxReplaySteps
+	}
+	if eff.ReplaySteps > maxReplay {
+		return fmt.Errorf("wire: refused: %d replay steps per round exceed this server's cap of %d", eff.ReplaySteps, maxReplay)
+	}
+	return nil
 }
 
 // NewDataServer builds a server over the catalog. keyBits sizes the
@@ -123,8 +174,11 @@ func (s *DataServer) ServeImperfectCodec(c Codec, hello *Hello, ih *ImperfectHel
 	if s.Secure {
 		return nil, fmt.Errorf("wire: the imperfect regime trains on realized gains and needs cleartext settlement; this server settles under Paillier")
 	}
-	if ih == nil {
-		return nil, fmt.Errorf("wire: imperfect session opened without parameters")
+	// The handshake frontends (vflmarket.Server) send this refusal back as
+	// an error envelope in place of the Hello before opening the session;
+	// here it only guards direct callers.
+	if err := s.ValidateImperfectHello(ih); err != nil {
+		return nil, err
 	}
 	if !(ih.Target > 0) || math.IsInf(ih.Target, 0) {
 		return nil, fmt.Errorf("wire: imperfect session needs a positive finite target gain, got %v", ih.Target)

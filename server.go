@@ -87,12 +87,14 @@ type ServerMetrics struct {
 type ServerOption func(*serverConfig)
 
 type serverConfig struct {
-	workers    int
-	ioTimeout  time.Duration
-	secureBits int
-	maxRounds  int
-	hook       func(SessionEvent)
-	roundObs   RoundObserver
+	workers        int
+	ioTimeout      time.Duration
+	secureBits     int
+	maxRounds      int
+	maxExploration int
+	maxReplay      int
+	hook           func(SessionEvent)
+	roundObs       RoundObserver
 }
 
 // WithWorkers bounds the session worker pool: at most n sessions bargain
@@ -123,6 +125,21 @@ func WithSecureSettlement(keyBits int) ServerOption {
 // WithSessionRounds caps the quotes a single session may send before the
 // server gives up on it. <= 0 keeps the wire default (1000).
 func WithSessionRounds(n int) ServerOption { return func(c *serverConfig) { c.maxRounds = n } }
+
+// WithImperfectCaps caps the client-supplied work factors of the imperfect
+// handshake: maxExploration bounds N (the Case VII exploration rounds the
+// server must keep its estimator alive for) and maxReplay bounds the
+// per-round experience-replay budget — together, the per-session estimator
+// compute one hello can demand. A hello exceeding either cap is refused
+// with an error envelope before any session state is built, and counts as
+// a rejected connection. <= 0 keeps the wire defaults (1000 exploration
+// rounds, 64 replay steps).
+func WithImperfectCaps(maxExploration, maxReplay int) ServerOption {
+	return func(c *serverConfig) {
+		c.maxExploration = maxExploration
+		c.maxReplay = maxReplay
+	}
+}
 
 // WithSessionHook installs a per-session callback, invoked once per
 // connection after it completes (or is rejected). Sessions run
@@ -192,6 +209,8 @@ func (s *Server) Register(name string, e *Engine) error {
 		return fmt.Errorf("vflmarket: market %q: %w", name, err)
 	}
 	ds.MaxRounds = s.cfg.maxRounds
+	ds.MaxExplorationRounds = s.cfg.maxExploration
+	ds.MaxReplaySteps = s.cfg.maxReplay
 	// Carry the template's data-party cost model so Case 3 (Eq. 6)
 	// acceptance fires over the wire exactly as it does in-process.
 	ds.DataCost = tmpl.DataCost
@@ -384,6 +403,20 @@ func (s *Server) handle(conn net.Conn) {
 		wire.SendError(codec, "%v", err)
 		notify("", nil, err)
 		return
+	}
+
+	// Protocol v3 hardening: the handshake's work factors are client
+	// input, so an abusive hello (exploration rounds or replay budget over
+	// the market's caps) is refused here — with an error envelope in place
+	// of the Hello, before any session state exists — and counted as a
+	// rejection, not a failed session.
+	if mode == wire.ModeImperfect && !ch.ListOnly {
+		if err := mkt.ds.ValidateImperfectHello(ch.Imperfect); err != nil {
+			s.rejected.Add(1)
+			wire.SendError(codec, "%v", err)
+			notify(name, nil, err)
+			return
+		}
 	}
 
 	hello := mkt.ds.Hello()
