@@ -8,6 +8,7 @@ package vflmarket
 
 import (
 	"context"
+	crand "crypto/rand"
 	"net"
 	"strconv"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/exp"
+	"repro/internal/secure"
 	"repro/internal/tree"
 	"repro/internal/vfl"
 )
@@ -357,6 +359,102 @@ func BenchmarkServiceRoundTrip(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSecureSettlement measures the §3.6 settlement round — the
+// secure regime's per-round crypto cost — through the public batched
+// path's cipher at demo key size (256-bit primes): sealing the Eq. 2
+// payment and opening it on the data side.
+//
+//   - clear:          the non-secure baseline (Eq. 2 arithmetic only).
+//   - secure-inline:  every seal pays the full r^n modexp (the drained
+//     pool's fallback, and the pre-rebuild per-round encryption cost).
+//   - secure-pooled:  the pipelined regime — seals draw precomputed
+//     randomizers (one mulmod in steady state, refilled in the
+//     background), opening runs the blinded CRT decryption.
+//
+// Both secure variants open through the CRT path; the CRT-vs-classic
+// decryption gap is isolated by BenchmarkPaillierDecrypt.
+//
+// Allocations are reported; the per-op gap between inline and pooled is
+// the amortized-randomness win, and BenchmarkPaillier{Encrypt,Decrypt} in
+// internal/secure isolate the same effects per primitive (including at
+// 1024-bit production-shaped primes). On a single-core runner the pooled
+// numbers include the background refill competing for the CPU; see
+// EXPERIMENTS.md.
+func BenchmarkSecureSettlement(b *testing.B) {
+	quote := core.QuotedPrice{Rate: 9.5, Base: 1.4, High: 3.0}
+	const gain = 0.12
+
+	b.Run("clear", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if pay := quote.Payment(gain); pay <= 0 {
+				b.Fatal("non-positive payment")
+			}
+		}
+	})
+
+	sk, err := secure.GenerateKey(crand.Reader, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recv := secure.NewDataReceiver(sk)
+	pay := quote.Payment(gain)
+
+	b.Run("secure-inline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := secure.EncodeFixed(recv.PublicKey(), pay)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ct, err := recv.PublicKey().Encrypt(crand.Reader, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := recv.OpenPayment(&secure.GainReport{EncPayment: ct}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("secure-pooled", func(b *testing.B) {
+		// A prime-only pool (no background workers) refilled outside the
+		// timer isolates the steady-state per-round cost; in production
+		// the refill overlaps bargaining on spare cores instead.
+		const chunk = 128 // two draws per round (seal + blind)
+		ns := secure.NewNoiseSource(recv.PublicKey(), chunk, -1, crand.Reader)
+		defer ns.Close()
+		if err := ns.Prime(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%(chunk/2) == 0 && i > 0 {
+				b.StopTimer()
+				if err := ns.Prime(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			m, err := secure.EncodeFixed(recv.PublicKey(), pay)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ct, err := ns.Encrypt(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := recv.OpenPayment(&secure.GainReport{EncPayment: ns.Blind(ct)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if st := ns.Stats(); st.Inline > 0 {
+			b.Fatalf("steady-state bench drained its pool (%d inline draws)", st.Inline)
+		}
+	})
 }
 
 // BenchmarkBargainPerfect measures one strategic perfect-information game.

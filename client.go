@@ -2,11 +2,14 @@ package vflmarket
 
 import (
 	"context"
+	"crypto/rand"
 	"fmt"
+	"math/big"
 	"net"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/secure"
 	"repro/internal/wire"
 )
 
@@ -21,6 +24,7 @@ type dialConfig struct {
 	session     *SessionConfig
 	gains       GainProvider
 	imperfect   *ImperfectParams
+	noisePool   int
 }
 
 // WithCodec selects the wire framing: CodecGob (default, Go-native) or
@@ -70,6 +74,19 @@ func WithImperfect(p ImperfectParams) DialOption {
 	return func(c *dialConfig) { cp := p; c.imperfect = &cp }
 }
 
+// WithClientNoisePool sizes the client's pool of precomputed Paillier
+// randomizers when the server settles securely: background workers keep
+// r^n mod n² factors ready for the server's key, so each settled round's
+// encryption costs one modular multiplication in steady state instead of
+// a full-width modexp. All of the client's sessions share the pool. n = 0
+// (the default) keeps the default size (secure.DefaultNoisePool); n < 0
+// disables pooling, restoring the inline modexp per settlement. Inert
+// against clear-settling servers. Call Client.Close to release the pool's
+// workers when done.
+func WithClientNoisePool(n int) DialOption {
+	return func(c *dialConfig) { c.noisePool = n }
+}
+
 // Client is the task party's connection point to a market Server. A Client
 // is cheap, immutable and safe for concurrent use: every Bargain call
 // dials its own connection and runs one full session on it, mirroring
@@ -79,6 +96,7 @@ type Client struct {
 	addr  string
 	cfg   dialConfig
 	hello *wire.Hello
+	noise *secure.NoiseSource
 }
 
 // Dial validates the service at addr and returns a Client bound to it: it
@@ -100,7 +118,24 @@ func Dial(ctx context.Context, addr string, opts ...DialOption) (*Client, error)
 		return nil, err
 	}
 	c.hello = hello
+	// Against a Paillier-settling server, start the shared randomizer pool
+	// for its key: every session's settlement encryptions draw from it, so
+	// steady-state secure settlement costs one mulmod per round.
+	if hello.Secure && cfg.noisePool >= 0 && len(hello.PubN) > 0 {
+		pk := secure.NewPublicKey(new(big.Int).SetBytes(hello.PubN))
+		c.noise = secure.NewNoiseSource(pk, cfg.noisePool, 0, rand.Reader)
+	}
 	return c, nil
+}
+
+// Close releases the client's background resources (the secure-settlement
+// randomizer pool, when the server settles under Paillier). Bargaining
+// after Close still works — settlements fall back to inline encryption
+// once the pool drains. Close is safe on every client, secure or not.
+func (c *Client) Close() {
+	if c.noise != nil {
+		c.noise.Close()
+	}
 }
 
 // probe runs one listing-only handshake.
@@ -276,7 +311,7 @@ func (c *Client) withSession(ctx context.Context, gains GainProvider, hs wire.Cl
 	if err != nil {
 		return wrapCtx(ctx, err)
 	}
-	tc := &wire.TaskClient{Session: cfg, Gains: gains, Observers: toCoreObservers(obs)}
+	tc := &wire.TaskClient{Session: cfg, Gains: gains, Observers: toCoreObservers(obs), Noise: c.noise}
 	if err := run(ctx, tc, codec, hello); err != nil {
 		return wrapCtx(ctx, err)
 	}

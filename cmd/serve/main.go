@@ -39,7 +39,9 @@ func main() {
 	synthetic := flag.Bool("synthetic", true, "use synthetic gains (fast startup)")
 	workers := flag.Int("workers", 0, "max concurrent sessions (0 = GOMAXPROCS)")
 	secure := flag.Bool("secure", false, "settle under Paillier encryption (§3.6)")
-	keyBits := flag.Int("keybits", 256, "Paillier prime bits with -secure")
+	keyBits := flag.Int("keybits", 256, "Paillier prime bits with -secure (production wants 1536+)")
+	noisePool := flag.Int("noisepool", 0, "per-market pool of precomputed Paillier randomizers with -secure (0 = default)")
+	eagerKeys := flag.Bool("eagerkeys", false, "generate Paillier keys at registration instead of in the background")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-read/write IO deadline")
 	verbose := flag.Bool("v", false, "log every session")
 	flag.Parse()
@@ -52,7 +54,10 @@ func main() {
 		vflmarket.WithIOTimeout(*timeout),
 	}
 	if *secure {
-		opts = append(opts, vflmarket.WithSecureSettlement(*keyBits))
+		opts = append(opts, vflmarket.WithSecureSettlement(*keyBits), vflmarket.WithNoisePool(*noisePool))
+		if *eagerKeys {
+			opts = append(opts, vflmarket.WithEagerSecureKeys())
+		}
 	}
 	if *verbose {
 		opts = append(opts, vflmarket.WithSessionHook(func(ev vflmarket.SessionEvent) {
@@ -104,7 +109,8 @@ func main() {
 	marketMetrics := srv.MarketMetrics()
 	for _, name := range srv.Markets() {
 		mm := marketMetrics[name]
-		fmt.Printf("market %-8s %d sessions (%d imperfect), oracle: %d VFL trainings, %d cached gains\n",
-			name, mm.Sessions, mm.ImperfectSessions, mm.OracleTrainings, mm.OracleCachedGains)
+		fmt.Printf("market %-8s %d sessions (%d imperfect), oracle: %d VFL trainings, %d cached gains, %d memo hits, %d coalesced\n",
+			name, mm.Sessions, mm.ImperfectSessions, mm.OracleTrainings, mm.OracleCachedGains,
+			mm.OracleHits, mm.OracleCoalesced)
 	}
 }

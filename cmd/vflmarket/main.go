@@ -114,6 +114,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer client.Close()
 		if client.Market() != *ds {
 			// Without -market the server resolves its own default, which
 			// must match the dataset the local template was built from.

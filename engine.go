@@ -143,12 +143,24 @@ func (e *Engine) SessionImperfect() SessionConfig {
 // actually trained and bundle gains memoized so far. Both are 0 for
 // synthetic-gain engines, which never train. The oracle is shared by every
 // session of the engine, so the counters measure the engine's cumulative
-// training load.
+// training load. OracleMetrics adds the flight metrics.
 func (e *Engine) OracleStats() (trainings, cachedGains int) {
 	if e.env.Oracle == nil {
 		return 0, 0
 	}
 	return e.env.Oracle.Trainings(), e.env.Oracle.CacheSize()
+}
+
+// OracleMetrics snapshots the full valuation-oracle load, including the
+// singleflight's flight metrics: memo hits (valuations served without
+// training) and coalesced callers (waiters that piggybacked on an
+// in-flight training instead of starting their own). All zero for
+// synthetic-gain engines, which have no oracle.
+func (e *Engine) OracleMetrics() vfl.OracleStats {
+	if e.env.Oracle == nil {
+		return vfl.OracleStats{}
+	}
+	return e.env.Oracle.Stats()
 }
 
 // BargainOptions tweak a standard bargaining run. Unset fields keep the
@@ -256,6 +268,13 @@ type BatchOptions struct {
 // unfinished slots are left nil and the error is returned alongside the
 // partial results.
 func (e *Engine) BargainBatch(ctx context.Context, specs []BatchSpec, opts BatchOptions) ([]*Result, error) {
+	return core.RunBatch(ctx, e.env.Catalog, e.batchJobs(specs, opts), opts.Workers)
+}
+
+// batchJobs resolves batch specs against the engine template and the
+// seed-derivation convention — shared by BargainBatch and
+// BargainBatchSecure so both paths play identical sessions.
+func (e *Engine) batchJobs(specs []BatchSpec, opts BatchOptions) []core.BatchJob {
 	jobs := make([]core.BatchJob, len(specs))
 	for i, sp := range specs {
 		cfg := e.env.Session
@@ -269,5 +288,5 @@ func (e *Engine) BargainBatch(ctx context.Context, specs []BatchSpec, opts Batch
 		}
 		jobs[i] = core.BatchJob{Config: cfg, Observer: sp.Observer}
 	}
-	return core.RunBatch(ctx, e.env.Catalog, jobs, opts.Workers)
+	return jobs
 }

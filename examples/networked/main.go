@@ -89,6 +89,9 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+			// Against this Paillier-settling server the client keeps a pool
+			// of precomputed encryption randomizers; Close releases it.
+			defer client.Close()
 			res, err := client.Bargain(ctx, vflmarket.BargainOptions{Seed: 7})
 			if err != nil {
 				log.Fatal(err)

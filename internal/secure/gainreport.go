@@ -12,15 +12,30 @@ import (
 // comfortably covers the paper's smallest tolerances (εd = 1e-5 on Credit).
 const GainScale = 1_000_000
 
+// MaxFixed is the largest magnitude EncodeFixed accepts: the scaled value
+// must fit an int64, so |v| must stay below 2⁶³/GainScale. Gains and
+// payments in this market are O(1)–O(10³), five orders of magnitude under
+// the bound; hitting it means a corrupted value, not a real settlement.
+const MaxFixed = float64(math.MaxInt64) / GainScale
+
 // EncodeFixed converts a (possibly negative) float into the field's
 // fixed-point representation: negatives map to n - |v|·scale, the usual
-// two's-complement-style embedding.
+// two's-complement-style embedding. Values that are not finite, would
+// overflow the int64 scaling (|v| ≥ MaxFixed), or would not fit the key's
+// signed capacity (|v|·scale ≥ n/2) are rejected — silent wrapping would
+// settle an arbitrarily wrong payment.
 func EncodeFixed(pk *PublicKey, v float64) (*big.Int, error) {
 	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return nil, fmt.Errorf("secure: cannot encode %v", v)
 	}
+	if math.Abs(v) >= MaxFixed {
+		return nil, fmt.Errorf("secure: value %v overflows the fixed-point range (|v| < %v)", v, MaxFixed)
+	}
 	scaled := int64(math.Round(v * GainScale))
 	m := big.NewInt(scaled)
+	if m.CmpAbs(pk.halfN()) >= 0 {
+		return nil, fmt.Errorf("secure: value %v exceeds the key's signed capacity", v)
+	}
 	if scaled < 0 {
 		m.Add(m, pk.N)
 	}
@@ -29,9 +44,8 @@ func EncodeFixed(pk *PublicKey, v float64) (*big.Int, error) {
 
 // DecodeFixed inverts EncodeFixed, treating residues above n/2 as negative.
 func DecodeFixed(pk *PublicKey, m *big.Int) float64 {
-	half := new(big.Int).Rsh(pk.N, 1)
 	v := new(big.Int).Set(m)
-	if v.Cmp(half) > 0 {
+	if v.Cmp(pk.halfN()) > 0 {
 		v.Sub(v, pk.N)
 	}
 	f, _ := new(big.Float).SetInt(v).Float64()
@@ -50,14 +64,43 @@ type GainReport struct {
 // TaskReporter is the task party's side of the secure exchange: it holds
 // the data party's public key and the agreed quote.
 type TaskReporter struct {
-	pk   *PublicKey
-	rand io.Reader
+	pk    *PublicKey
+	rand  io.Reader
+	noise *NoiseSource
+}
+
+// ReporterOption configures a TaskReporter at construction time.
+type ReporterOption func(*TaskReporter)
+
+// WithNoise attaches a randomizer pool to the reporter: Report and
+// ReportHomomorphic then draw precomputed r^n factors from it — one mulmod
+// per settlement instead of a modexp — falling back inline when drained. A
+// nil source is ignored. The pool must have been built for the same public
+// key the reporter encrypts under.
+func WithNoise(ns *NoiseSource) ReporterOption {
+	return func(t *TaskReporter) { t.noise = ns }
 }
 
 // NewTaskReporter builds the task party's reporter under the data party's
 // public key.
-func NewTaskReporter(pk *PublicKey, random io.Reader) *TaskReporter {
-	return &TaskReporter{pk: pk, rand: random}
+func NewTaskReporter(pk *PublicKey, random io.Reader, opts ...ReporterOption) *TaskReporter {
+	t := &TaskReporter{pk: pk, rand: random}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// encrypt routes through the noise pool when one is attached — but only
+// when the pool was built for this reporter's key. A pooled factor under a
+// stale key (the server rotated between sessions) would decrypt to
+// garbage with no error, Paillier being unauthenticated; falling back to
+// inline encryption under the session key keeps the settlement correct.
+func (t *TaskReporter) encrypt(m *big.Int) (*Ciphertext, error) {
+	if t.noise != nil && t.noise.Key().N.Cmp(t.pk.N) == 0 {
+		return t.noise.Encrypt(m)
+	}
+	return t.pk.Encrypt(t.rand, m)
 }
 
 // Report encrypts the payment the realized gain implies under the quote
@@ -78,7 +121,7 @@ func (t *TaskReporter) Report(rate, base, high, gain float64) (*GainReport, erro
 	if err != nil {
 		return nil, err
 	}
-	ct, err := t.pk.Encrypt(t.rand, m)
+	ct, err := t.encrypt(m)
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +138,7 @@ func (t *TaskReporter) ReportHomomorphic(gain float64) (*Ciphertext, error) {
 	if err != nil {
 		return nil, err
 	}
-	return t.pk.Encrypt(t.rand, m)
+	return t.encrypt(m)
 }
 
 // DataReceiver is the data party's side: it owns the private key.
@@ -120,14 +163,37 @@ func (d *DataReceiver) OpenPayment(r *GainReport) (float64, error) {
 	return DecodeFixed(&d.sk.PublicKey, m), nil
 }
 
+// minHomomorphicBits is the modulus width the scale² encoding of
+// PaymentFromEncGain needs: rate and gain each occupy up to 63 scaled
+// bits, so their homomorphic product can reach 126 bits and must stay
+// below n/2.
+const minHomomorphicBits = 128
+
 // PaymentFromEncGain computes the unclamped payment P0 + p·ΔG from an
 // encrypted gain homomorphically and decrypts it. The linear form is exact
 // under Paillier; the [P0, Ph] clamp is applied on the decrypted value
 // (comparison under encryption needs SMC, which §3.6 cites as the extension
 // point — the linear part is what leaks ΔG and is what the encryption
 // protects during transport).
+//
+// The computation runs in scale² (both addends carry GainScale²), so it
+// demands more of the key than a plain settlement: moduli narrower than
+// 128 bits could wrap the product and settle a garbage payment, and are
+// rejected. Every key GenerateKey accepts is comfortably wide enough.
 func (d *DataReceiver) PaymentFromEncGain(encGain *Ciphertext, rate, base, high float64) (float64, error) {
 	pk := &d.sk.PublicKey
+	if pk.N.BitLen() < minHomomorphicBits {
+		return 0, fmt.Errorf("secure: modulus of %d bits too narrow for the scale² homomorphic payment (want >= %d)", pk.N.BitLen(), minHomomorphicBits)
+	}
+	if math.IsNaN(rate) || math.IsInf(rate, 0) || math.Abs(rate) >= MaxFixed {
+		return 0, fmt.Errorf("secure: rate %v outside the fixed-point range", rate)
+	}
+	// base feeds EncodeFixed below, but high only drives the clamp — and
+	// every float comparison against NaN is false, so a non-finite bound
+	// would silently drop the Eq. 2 ceiling instead of erroring.
+	if math.IsNaN(base) || math.IsInf(base, 0) || math.IsNaN(high) || math.IsInf(high, 0) {
+		return 0, fmt.Errorf("secure: payment bounds (base %v, high %v) must be finite", base, high)
+	}
 	rateFixed := big.NewInt(int64(math.Round(rate * GainScale)))
 	// Enc(rate·gain) in scale²; add base in scale² too, decode twice.
 	scaled := pk.MulPlain(encGain, rateFixed)

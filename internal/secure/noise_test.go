@@ -1,0 +1,224 @@
+package secure
+
+// Tests of the randomizer pool: pooled encryption must be indistinguishable
+// from inline encryption to the decryptor, a drained or closed pool must
+// degrade to inline computation (never deadlock), and no pooled randomizer
+// may ever serve two encryptions.
+
+import (
+	"context"
+	"crypto/rand"
+	"math/big"
+	"sync"
+	"testing"
+)
+
+func TestPooledEncryptMatchesInline(t *testing.T) {
+	sk := testKeyPair(t)
+	pk := &sk.PublicKey
+	ns := NewNoiseSource(pk, 16, 1, rand.Reader)
+	defer ns.Close()
+	if err := ns.Prime(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	values := []*big.Int{big.NewInt(0), big.NewInt(1), big.NewInt(2540000),
+		new(big.Int).Sub(pk.N, one)}
+	for _, v := range []float64{-0.05, 0.17, -123.456} {
+		m, err := EncodeFixed(pk, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		values = append(values, m)
+	}
+	for _, m := range values {
+		pooled, err := ns.Encrypt(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inline, err := pk.Encrypt(rand.Reader, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pooled.C.Cmp(inline.C) == 0 {
+			t.Fatal("pooled and inline encryption produced identical ciphertexts")
+		}
+		gotPooled := decryptBothWays(t, sk, pooled)
+		gotInline := decryptBothWays(t, sk, inline)
+		if gotPooled.Cmp(m) != 0 || gotInline.Cmp(gotPooled) != 0 {
+			t.Fatalf("pooled %v / inline %v, want %v", gotPooled, gotInline, m)
+		}
+	}
+}
+
+func TestPooledEncryptRejectsOutOfRange(t *testing.T) {
+	sk := testKeyPair(t)
+	ns := NewNoiseSource(&sk.PublicKey, 4, 1, rand.Reader)
+	defer ns.Close()
+	if _, err := ns.Encrypt(big.NewInt(-1)); err == nil {
+		t.Fatal("negative plaintext accepted")
+	}
+	if _, err := ns.Encrypt(new(big.Int).Set(sk.N)); err == nil {
+		t.Fatal("plaintext = n accepted")
+	}
+}
+
+func TestNoiseRerandomizeAndBlindPreservePlaintext(t *testing.T) {
+	sk := testKeyPair(t)
+	ns := NewNoiseSource(&sk.PublicKey, 8, 1, rand.Reader)
+	defer ns.Close()
+	if err := ns.Prime(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := sk.Encrypt(rand.Reader, big.NewInt(5555))
+	b, err := ns.Rerandomize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.C.Cmp(b.C) == 0 {
+		t.Fatal("rerandomization did not change the ciphertext")
+	}
+	if got := decryptBothWays(t, sk, b); got.Int64() != 5555 {
+		t.Fatalf("rerandomized plaintext = %v", got)
+	}
+	c := ns.Blind(a)
+	if got := decryptBothWays(t, sk, c); got.Int64() != 5555 {
+		t.Fatalf("blinded plaintext = %v", got)
+	}
+}
+
+// TestNoiseBlindWithoutPoolIsIdentity: Blind never pays an inline modexp —
+// with the pool drained it returns the ciphertext unchanged.
+func TestNoiseBlindWithoutPoolIsIdentity(t *testing.T) {
+	sk := testKeyPair(t)
+	ns := NewNoiseSource(&sk.PublicKey, 4, 1, rand.Reader)
+	ns.Close()
+	// Drain whatever the worker parked before Close.
+	a, _ := sk.Encrypt(rand.Reader, big.NewInt(7))
+	for i := 0; i < 8; i++ {
+		ns.Blind(a)
+	}
+	b := ns.Blind(a)
+	if b.C.Cmp(a.C) != 0 {
+		t.Fatal("Blind on a drained pool must be the identity")
+	}
+}
+
+// TestNoiseSourceNeverDoubleSpends hammers a small pool from many
+// goroutines racing Close and asserts (a) no deadlock — every draw
+// completes, falling back inline when drained — and (b) every pooled
+// factor serves exactly one encryption: two spends of one randomizer would
+// make the two ciphertexts' message-independent factors equal, which for
+// encryptions of zero means equal ciphertexts. Run under -race.
+func TestNoiseSourceNeverDoubleSpends(t *testing.T) {
+	sk := testKeyPair(t)
+	pk := &sk.PublicKey
+	ns := NewNoiseSource(pk, 8, 2, rand.Reader)
+	if err := ns.Prime(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines, perG = 8, 24
+	zero := new(big.Int)
+	cts := make([][]*Ciphertext, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				ct, err := ns.Encrypt(zero) // Enc(0) = the randomizer itself
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				cts[g] = append(cts[g], ct)
+				if i == perG/2 && g == 0 {
+					ns.Close() // mid-flight shutdown must not deadlock anyone
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	seen := make(map[string]bool, goroutines*perG)
+	for _, row := range cts {
+		for _, ct := range row {
+			key := ct.C.Text(62)
+			if seen[key] {
+				t.Fatal("a randomizer was spent twice")
+			}
+			seen[key] = true
+		}
+	}
+	st := ns.Stats()
+	if st.Pooled+st.Inline < goroutines*perG {
+		t.Fatalf("draw accounting lost draws: pooled %d + inline %d < %d", st.Pooled, st.Inline, goroutines*perG)
+	}
+	// After Close the pool eventually drains; encryption must keep working.
+	ct, err := ns.Encrypt(big.NewInt(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decryptBothWays(t, sk, ct); got.Int64() != 42 {
+		t.Fatalf("post-Close encryption decrypted to %v", got)
+	}
+}
+
+// TestNoisePrimeHonorsCancellation: a cancelled context stops Prime.
+func TestNoisePrimeHonorsCancellation(t *testing.T) {
+	sk := testKeyPair(t)
+	ns := NewNoiseSource(&sk.PublicKey, 4, 1, rand.Reader)
+	defer ns.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ns.Prime(ctx); err == nil {
+		t.Fatal("Prime ignored a cancelled context")
+	}
+}
+
+// TestReporterIgnoresMismatchedPool: a pool built for another key (the
+// server rotated between sessions) must not poison the settlement — the
+// reporter falls back to inline encryption under its session key.
+func TestReporterIgnoresMismatchedPool(t *testing.T) {
+	sk := testKeyPair(t)
+	other := goldenKey(t)
+	stale := NewNoiseSource(&other.PublicKey, 4, 1, rand.Reader)
+	defer stale.Close()
+	if err := stale.Prime(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	data := NewDataReceiver(sk)
+	task := NewTaskReporter(data.PublicKey(), rand.Reader, WithNoise(stale))
+	rep, err := task.Report(9.5, 1.4, 3.0, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pay, err := data.OpenPayment(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pay < 2.54-1e-5 || pay > 2.54+1e-5 {
+		t.Fatalf("payment through a mismatched pool = %v, want 2.54", pay)
+	}
+	if st := stale.Stats(); st.Pooled != 0 {
+		t.Fatalf("mismatched pool served %d draws", st.Pooled)
+	}
+}
+
+func TestNoiseStatsCountPooledDraws(t *testing.T) {
+	sk := testKeyPair(t)
+	ns := NewNoiseSource(&sk.PublicKey, 4, 1, rand.Reader)
+	defer ns.Close()
+	if err := ns.Prime(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := ns.Encrypt(big.NewInt(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ns.Stats()
+	if st.Pooled == 0 {
+		t.Fatalf("primed pool served no draws: %+v", st)
+	}
+}

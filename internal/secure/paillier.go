@@ -6,6 +6,14 @@
 // and a secure gain-report protocol in which the data party learns its
 // payment without ever seeing the plaintext gain, and the task party never
 // reveals more than the payment itself.
+//
+// The subsystem is performance-engineered for settlement-heavy workloads:
+// decryption runs in CRT form over the half-width prime moduli (two small
+// modexps instead of one full-width one; DecryptClassic preserves the
+// textbook path as the reference the CRT path is pinned against), and the
+// message-independent factor r^n mod n² of encryption can be precomputed by
+// a concurrent NoiseSource so steady-state settlement encryption costs one
+// modular multiplication instead of a modexp.
 package secure
 
 import (
@@ -18,25 +26,78 @@ import (
 
 var one = big.NewInt(1)
 
+// MinKeyBits is the smallest accepted Paillier prime size. Production use
+// would pick 1536+; tests and demos use small keys for speed.
+const MinKeyBits = 128
+
+// ValidateKeyBits rejects key sizes below MinKeyBits. It is the synchronous
+// half of key generation: callers that generate keys asynchronously (see
+// AsyncKey) run it up front so a bad size fails fast instead of inside a
+// background goroutine.
+func ValidateKeyBits(bits int) error {
+	if bits < MinKeyBits {
+		return fmt.Errorf("secure: key size %d too small (want >= %d bits per prime)", bits, MinKeyBits)
+	}
+	return nil
+}
+
 // PublicKey is a Paillier public key (n, g) with g = n + 1.
 type PublicKey struct {
 	N  *big.Int // modulus
 	N2 *big.Int // n²
+
+	// half caches n>>1 for the fixed-point sign split (see DecodeFixed).
+	// Keys built by the package constructors carry it; a zero-constructed
+	// key falls back to computing it per call.
+	half *big.Int
 }
 
-// PrivateKey is a Paillier private key.
+// NewPublicKey builds a public key from the modulus, precomputing n² and
+// the fixed-point decode threshold. It is how transport layers should
+// reconstruct a key from a received modulus.
+func NewPublicKey(n *big.Int) *PublicKey {
+	return &PublicKey{
+		N:    n,
+		N2:   new(big.Int).Mul(n, n),
+		half: new(big.Int).Rsh(n, 1),
+	}
+}
+
+// halfN returns n>>1, cached when the key was built by a package
+// constructor. The fallback never writes the cache, so a hand-built
+// PublicKey value stays safe for concurrent use.
+func (pk *PublicKey) halfN() *big.Int {
+	if pk.half != nil {
+		return pk.half
+	}
+	return new(big.Int).Rsh(pk.N, 1)
+}
+
+// PrivateKey is a Paillier private key. Keys built by GenerateKey or
+// NewPrivateKeyFromPrimes retain the prime factorization and the
+// precomputed CRT constants, so Decrypt runs two half-width modexps; the
+// textbook full-width path remains available as DecryptClassic.
 type PrivateKey struct {
 	PublicKey
 	lambda *big.Int // lcm(p-1, q-1)
 	mu     *big.Int // (L(g^lambda mod n²))⁻¹ mod n
+
+	// CRT constants. p2/q2 are p²/q², pOrder/qOrder the per-prime λ = p-1
+	// and q-1, hp/hq the per-prime μ, and qInvP = q⁻¹ mod p for the Garner
+	// recombination.
+	p, q           *big.Int
+	p2, q2         *big.Int
+	pOrder, qOrder *big.Int
+	hp, hq         *big.Int
+	qInvP          *big.Int
 }
 
 // GenerateKey creates a Paillier key pair with primes of the given bit size
-// (so the modulus has 2·bits). Bits must be at least 128; production use
-// would pick 1536+, tests use small keys for speed.
+// (so the modulus has 2·bits). Bits must be at least MinKeyBits; production
+// use would pick 1536+, tests use small keys for speed.
 func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
-	if bits < 128 {
-		return nil, fmt.Errorf("secure: key size %d too small (want >= 128 bits per prime)", bits)
+	if err := ValidateKeyBits(bits); err != nil {
+		return nil, err
 	}
 	for {
 		p, err := rand.Prime(random, bits)
@@ -47,29 +108,73 @@ func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
 		if err != nil {
 			return nil, fmt.Errorf("secure: generating prime: %w", err)
 		}
-		if p.Cmp(q) == 0 {
-			continue
+		sk, err := newPrivateKey(p, q)
+		if err != nil {
+			continue // degenerate draw (p = q, or λ not invertible); redraw
 		}
-		n := new(big.Int).Mul(p, q)
-		pm1 := new(big.Int).Sub(p, one)
-		qm1 := new(big.Int).Sub(q, one)
-		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
-		lambda := new(big.Int).Div(new(big.Int).Mul(pm1, qm1), gcd)
-		n2 := new(big.Int).Mul(n, n)
-
-		// mu = (L(g^lambda mod n²))⁻¹ mod n with g = n+1:
-		// g^lambda mod n² = 1 + lambda·n (binomial), so L(..) = lambda mod n.
-		lmod := new(big.Int).Mod(lambda, n)
-		mu := new(big.Int).ModInverse(lmod, n)
-		if mu == nil {
-			continue // lambda not invertible mod n; re-draw primes
-		}
-		return &PrivateKey{
-			PublicKey: PublicKey{N: n, N2: n2},
-			lambda:    lambda,
-			mu:        mu,
-		}, nil
+		return sk, nil
 	}
+}
+
+// NewPrivateKeyFromPrimes assembles a key pair from explicit primes — the
+// import path for externally generated or test-pinned keys. Both primes
+// must be distinct, at least MinKeyBits wide, and pass a probabilistic
+// primality check.
+func NewPrivateKeyFromPrimes(p, q *big.Int) (*PrivateKey, error) {
+	if p.BitLen() < MinKeyBits || q.BitLen() < MinKeyBits {
+		return nil, fmt.Errorf("secure: primes of %d and %d bits too small (want >= %d)", p.BitLen(), q.BitLen(), MinKeyBits)
+	}
+	if !p.ProbablyPrime(20) || !q.ProbablyPrime(20) {
+		return nil, errors.New("secure: key factors must be prime")
+	}
+	return newPrivateKey(new(big.Int).Set(p), new(big.Int).Set(q))
+}
+
+// newPrivateKey derives every classic and CRT constant from the primes.
+func newPrivateKey(p, q *big.Int) (*PrivateKey, error) {
+	if p.Cmp(q) == 0 {
+		return nil, errors.New("secure: primes must be distinct")
+	}
+	n := new(big.Int).Mul(p, q)
+	pm1 := new(big.Int).Sub(p, one)
+	qm1 := new(big.Int).Sub(q, one)
+	gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+	lambda := new(big.Int).Div(new(big.Int).Mul(pm1, qm1), gcd)
+
+	// mu = (L(g^lambda mod n²))⁻¹ mod n with g = n+1:
+	// g^lambda mod n² = 1 + lambda·n (binomial), so L(..) = lambda mod n.
+	lmod := new(big.Int).Mod(lambda, n)
+	mu := new(big.Int).ModInverse(lmod, n)
+	if mu == nil {
+		return nil, errors.New("secure: lambda not invertible mod n")
+	}
+
+	// Per-prime μ with g = n+1: g^(p-1) mod p² = 1 + (p-1)·n (binomial), so
+	// L_p(..) = (p-1)·n/p = (p-1)·q mod p — invertible since p divides
+	// neither p-1 nor q. Symmetrically for q.
+	hp := new(big.Int).Mul(pm1, q)
+	hp.Mod(hp, p)
+	hp.ModInverse(hp, p)
+	hq := new(big.Int).Mul(qm1, p)
+	hq.Mod(hq, q)
+	hq.ModInverse(hq, q)
+	qInvP := new(big.Int).ModInverse(q, p)
+	if hp == nil || hq == nil || qInvP == nil {
+		// Unreachable for distinct primes; guard against constructed input.
+		return nil, errors.New("secure: CRT constants not invertible")
+	}
+	sk := &PrivateKey{
+		PublicKey: *NewPublicKey(n),
+		lambda:    lambda,
+		mu:        mu,
+		p:         p, q: q,
+		p2:     new(big.Int).Mul(p, p),
+		q2:     new(big.Int).Mul(q, q),
+		pOrder: pm1, qOrder: qm1,
+		hp: hp, hq: hq,
+		qInvP: qInvP,
+	}
+	return sk, nil
 }
 
 // Ciphertext is a Paillier ciphertext.
@@ -78,19 +183,39 @@ type Ciphertext struct {
 }
 
 // Encrypt encrypts m ∈ [0, n) under the public key: c = g^m · r^n mod n².
+// The r^n factor is computed inline; settlement-heavy callers draw
+// precomputed factors from a NoiseSource instead (see NoiseSource.Encrypt).
 func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int) (*Ciphertext, error) {
-	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
-		return nil, fmt.Errorf("secure: plaintext out of range [0, n)")
+	rn, err := pk.NoiseFactor(random)
+	if err != nil {
+		return nil, err
 	}
+	return pk.encryptWithFactor(m, rn)
+}
+
+// NoiseFactor samples a fresh unit r and returns r^n mod n² — the
+// message-independent modexp of Paillier encryption, and the value a
+// NoiseSource precomputes. A noise factor is simultaneously a valid
+// encryption of zero under the key.
+func (pk *PublicKey) NoiseFactor(random io.Reader) (*big.Int, error) {
 	r, err := pk.randomUnit(random)
 	if err != nil {
 		return nil, err
+	}
+	return new(big.Int).Exp(r, pk.N, pk.N2), nil
+}
+
+// encryptWithFactor finishes an encryption from a precomputed r^n mod n²:
+// c = (1 + m·n) · rn mod n², one modular multiplication. The factor is
+// consumed — callers must never reuse one across encryptions.
+func (pk *PublicKey) encryptWithFactor(m, rn *big.Int) (*Ciphertext, error) {
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, fmt.Errorf("secure: plaintext out of range [0, n)")
 	}
 	// g^m = (n+1)^m = 1 + m·n (mod n²), a cheap closed form.
 	gm := new(big.Int).Mul(m, pk.N)
 	gm.Add(gm, one)
 	gm.Mod(gm, pk.N2)
-	rn := new(big.Int).Exp(r, pk.N, pk.N2)
 	c := gm.Mul(gm, rn)
 	c.Mod(c, pk.N2)
 	return &Ciphertext{C: c}, nil
@@ -111,10 +236,58 @@ func (pk *PublicKey) randomUnit(random io.Reader) (*big.Int, error) {
 	}
 }
 
-// Decrypt recovers the plaintext: m = L(c^lambda mod n²) · mu mod n.
-func (sk *PrivateKey) Decrypt(ct *Ciphertext) (*big.Int, error) {
+func (sk *PrivateKey) checkCiphertext(ct *Ciphertext) error {
 	if ct == nil || ct.C == nil || ct.C.Sign() <= 0 || ct.C.Cmp(sk.N2) >= 0 {
-		return nil, errors.New("secure: ciphertext out of range")
+		return errors.New("secure: ciphertext out of range")
+	}
+	return nil
+}
+
+// Decrypt recovers the plaintext. Keys carrying the prime factorization
+// (every key this package builds) decrypt in CRT form — two modexps over
+// the half-width moduli p² and q² with half-width exponents, recombined by
+// Garner's formula — which is bit-identical to the textbook path at a
+// fraction of the cost. Keys without CRT constants fall back to
+// DecryptClassic.
+func (sk *PrivateKey) Decrypt(ct *Ciphertext) (*big.Int, error) {
+	if sk.p == nil {
+		return sk.DecryptClassic(ct)
+	}
+	if err := sk.checkCiphertext(ct); err != nil {
+		return nil, err
+	}
+	// m mod p = L_p(c^(p-1) mod p²) · hp mod p, and symmetrically mod q.
+	mp := new(big.Int).Mod(ct.C, sk.p2)
+	mp.Exp(mp, sk.pOrder, sk.p2)
+	mp.Sub(mp, one)
+	mp.Div(mp, sk.p)
+	mp.Mul(mp, sk.hp)
+	mp.Mod(mp, sk.p)
+
+	mq := new(big.Int).Mod(ct.C, sk.q2)
+	mq.Exp(mq, sk.qOrder, sk.q2)
+	mq.Sub(mq, one)
+	mq.Div(mq, sk.q)
+	mq.Mul(mq, sk.hq)
+	mq.Mod(mq, sk.q)
+
+	// Garner recombination: m = mq + q·((mp − mq)·q⁻¹ mod p) ∈ [0, n).
+	m := new(big.Int).Sub(mp, mq)
+	m.Mul(m, sk.qInvP)
+	m.Mod(m, sk.p)
+	m.Mul(m, sk.q)
+	m.Add(m, mq)
+	return m, nil
+}
+
+// DecryptClassic is the textbook decryption m = L(c^lambda mod n²) · mu
+// mod n: one full-width modexp over n². It is preserved as the reference
+// implementation the CRT path is pinned against (see the package's
+// property and golden tests) and as the fallback for keys without the
+// prime factorization.
+func (sk *PrivateKey) DecryptClassic(ct *Ciphertext) (*big.Int, error) {
+	if err := sk.checkCiphertext(ct); err != nil {
+		return nil, err
 	}
 	u := new(big.Int).Exp(ct.C, sk.lambda, sk.N2)
 	// L(u) = (u - 1)/n
@@ -150,11 +323,13 @@ func (pk *PublicKey) MulPlain(a *Ciphertext, k *big.Int) *Ciphertext {
 }
 
 // Rerandomize multiplies the ciphertext by a fresh encryption of zero,
-// unlinking it from the original without changing the plaintext.
+// unlinking it from the original without changing the plaintext. The
+// randomness is computed inline; pooled callers use
+// NoiseSource.Rerandomize.
 func (pk *PublicKey) Rerandomize(random io.Reader, a *Ciphertext) (*Ciphertext, error) {
-	zero, err := pk.Encrypt(random, new(big.Int))
+	rn, err := pk.NoiseFactor(random)
 	if err != nil {
 		return nil, err
 	}
-	return pk.Add(a, zero), nil
+	return pk.Add(a, &Ciphertext{C: rn}), nil
 }

@@ -275,8 +275,27 @@ type GainOracle struct {
 	cache      map[string]float64
 	inflight   map[string]*flight
 	// trainings counts actual (non-cached) VFL courses, for the ablation
-	// bench quantifying what caching saves.
+	// bench quantifying what caching saves. hits counts memo hits and
+	// coalesced the callers that joined an already-running flight instead
+	// of training — together the oracle's flight metrics, surfaced through
+	// Stats (and from there Server.MarketMetrics).
 	trainings int
+	hits      int
+	coalesced int
+}
+
+// OracleStats is a point-in-time snapshot of a GainOracle's load counters.
+type OracleStats struct {
+	// Trainings counts actual (non-cached) VFL training courses run.
+	Trainings int
+	// CachedGains counts the bundle valuations memoized so far.
+	CachedGains int
+	// Hits counts bundle valuations served straight from the memo map.
+	Hits int
+	// Coalesced counts callers that piggybacked on an in-flight training
+	// of the same bundle (or the baseline) instead of starting their own —
+	// the work the singleflight de-duplicated under concurrency.
+	Coalesced int
 }
 
 // NewGainOracle builds an oracle over a problem and training config.
@@ -316,6 +335,7 @@ func (o *GainOracle) Baseline() float64 {
 			return b
 		}
 		if f := o.baseFlight; f != nil {
+			o.coalesced++
 			o.mu.Unlock()
 			<-f.done
 			if f.retry {
@@ -373,10 +393,12 @@ func (o *GainOracle) Gain(features []int) float64 {
 	for {
 		o.mu.Lock()
 		if g, ok := o.cache[key]; ok {
+			o.hits++
 			o.mu.Unlock()
 			return g
 		}
 		if f, ok := o.inflight[key]; ok {
+			o.coalesced++
 			o.mu.Unlock()
 			<-f.done
 			if f.retry {
@@ -509,4 +531,17 @@ func (o *GainOracle) CacheSize() int {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return len(o.cache)
+}
+
+// Stats snapshots the oracle's flight metrics: trainings run, gains
+// memoized, memo hits, and callers coalesced into in-flight trainings.
+func (o *GainOracle) Stats() OracleStats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return OracleStats{
+		Trainings:   o.trainings,
+		CachedGains: len(o.cache),
+		Hits:        o.hits,
+		Coalesced:   o.coalesced,
+	}
 }

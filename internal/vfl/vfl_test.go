@@ -2,6 +2,7 @@ package vfl
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/dataset"
@@ -196,6 +197,41 @@ func TestGainOracleCaches(t *testing.T) {
 	o.Gain([]int{0})
 	if o.CacheSize() != 2 {
 		t.Fatalf("cache size = %d after second bundle", o.CacheSize())
+	}
+}
+
+// TestGainOracleFlightStats pins the flight metrics: serial memo hits
+// count as Hits, and concurrent callers racing one uncached bundle either
+// coalesce into the single flight or land on the fresh memo entry — never
+// a second training.
+func TestGainOracleFlightStats(t *testing.T) {
+	p := smallProblem(t, 300)
+	o := NewGainOracle(p, fastRF())
+	o.Gain([]int{1, 2})
+	o.Gain([]int{1, 2})
+	st := o.Stats()
+	if st.Hits != 1 || st.CachedGains != 1 || st.Trainings != o.Trainings() {
+		t.Fatalf("serial stats = %+v", st)
+	}
+
+	const racers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			o.Gain([]int{0, 3})
+		}()
+	}
+	wg.Wait()
+	st = o.Stats()
+	if st.CachedGains != 2 {
+		t.Fatalf("cache size = %d", st.CachedGains)
+	}
+	// Exactly one racer trained; every other racer either joined its
+	// flight (coalesced) or arrived after publication (hit).
+	if got := st.Hits + st.Coalesced; got != 1+(racers-1) {
+		t.Fatalf("hits %d + coalesced %d = %d, want %d", st.Hits, st.Coalesced, got, 1+racers-1)
 	}
 }
 

@@ -65,7 +65,7 @@ func TestServeImperfectRefusesAbusiveHello(t *testing.T) {
 	abusive := &ImperfectHello{Seed: 1, Target: cfg.TargetGain,
 		ExplorationRounds: DefaultMaxExplorationRounds + 1}
 	// The refusal happens before any write, so the unread pipe never blocks.
-	if _, err := srv.ServeImperfectCodec(c, srv.Hello(), abusive); err == nil {
+	if _, err := srv.ServeImperfectCodec(c, mustHello(t, srv), abusive); err == nil {
 		t.Fatal("server served an abusive exploration budget")
 	}
 }

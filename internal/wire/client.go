@@ -28,6 +28,12 @@ type TaskClient struct {
 	// Bargain, surfacing a stalled server as an ErrPeerTimeout-wrapped
 	// error. 0 means no deadline.
 	IOTimeout time.Duration
+	// Noise, when non-nil, is a pool of precomputed encryption randomizers
+	// for the server's public key: secure settlements then cost one mulmod
+	// each in steady state instead of a full modexp. Callers running many
+	// sessions against one server share a pool across their TaskClients
+	// (see vflmarket.Client). The pool's key must match the server's.
+	Noise *secure.NoiseSource
 }
 
 // Bargain runs one full legacy (v1) session over the connection and
@@ -55,9 +61,8 @@ func (t *TaskClient) BargainContext(ctx context.Context, conn net.Conn) (*core.R
 func (t *TaskClient) BargainCodec(ctx context.Context, c Codec, hello *Hello) (*core.Result, error) {
 	var reporter *secure.TaskReporter
 	if hello.Secure {
-		n := new(big.Int).SetBytes(hello.PubN)
-		pk := &secure.PublicKey{N: n, N2: new(big.Int).Mul(n, n)}
-		reporter = secure.NewTaskReporter(pk, rand.Reader)
+		pk := secure.NewPublicKey(new(big.Int).SetBytes(hello.PubN))
+		reporter = secure.NewTaskReporter(pk, rand.Reader, secure.WithNoise(t.Noise))
 	}
 	seller := &remoteSeller{
 		l:        link{c},

@@ -44,12 +44,13 @@ func runImperfectSession(t *testing.T, seed uint64) (*core.ImperfectResult, *Ses
 		Seed: cfg.Seed, Target: cfg.TargetGain,
 		ExplorationRounds: params.ExplorationRounds, ReplaySteps: params.ReplaySteps,
 	}
+	hello := mustHello(t, srv)
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		defer serverConn.Close()
 		c, _ := NewCodec(CodecGob, serverConn, serverConn)
-		sum, srvErr = srv.ServeImperfectCodec(c, srv.Hello(), ih)
+		sum, srvErr = srv.ServeImperfectCodec(c, hello, ih)
 	}()
 	c, _ := NewCodec(CodecGob, clientConn, clientConn)
 	he, err := link{c}.recv(KindHello)
@@ -98,7 +99,7 @@ func TestServeImperfectRefusesSecure(t *testing.T) {
 	_, serverConn := net.Pipe()
 	defer serverConn.Close()
 	c, _ := NewCodec(CodecGob, serverConn, serverConn)
-	if _, err := srv.ServeImperfectCodec(c, srv.Hello(), &ImperfectHello{Seed: 1, Target: 0.1}); err == nil {
+	if _, err := srv.ServeImperfectCodec(c, mustHello(t, srv), &ImperfectHello{Seed: 1, Target: 0.1}); err == nil {
 		t.Fatal("secure server accepted an imperfect session")
 	}
 }
@@ -112,13 +113,13 @@ func TestServeImperfectRejectsBadHello(t *testing.T) {
 	_, serverConn := net.Pipe()
 	defer serverConn.Close()
 	c, _ := NewCodec(CodecGob, serverConn, serverConn)
-	if _, err := srv.ServeImperfectCodec(c, srv.Hello(), nil); err == nil {
+	if _, err := srv.ServeImperfectCodec(c, mustHello(t, srv), nil); err == nil {
 		t.Fatal("server accepted an imperfect session without parameters")
 	}
-	if _, err := srv.ServeImperfectCodec(c, srv.Hello(), &ImperfectHello{Seed: 1, Target: -2}); err == nil {
+	if _, err := srv.ServeImperfectCodec(c, mustHello(t, srv), &ImperfectHello{Seed: 1, Target: -2}); err == nil {
 		t.Fatal("server accepted a non-positive target gain")
 	}
-	if _, err := srv.ServeImperfectCodec(c, srv.Hello(), &ImperfectHello{Seed: 1, Target: math.Inf(1)}); err == nil {
+	if _, err := srv.ServeImperfectCodec(c, mustHello(t, srv), &ImperfectHello{Seed: 1, Target: math.Inf(1)}); err == nil {
 		t.Fatal("server accepted an infinite target gain")
 	}
 }
@@ -136,7 +137,7 @@ func TestServeImperfectRejectsNonFiniteGain(t *testing.T) {
 	go func() {
 		defer serverConn.Close()
 		c, _ := NewCodec(CodecGob, serverConn, serverConn)
-		_, err := srv.ServeImperfectCodec(c, srv.Hello(), &ImperfectHello{Seed: 3, Target: cfg.TargetGain})
+		_, err := srv.ServeImperfectCodec(c, mustHello(t, srv), &ImperfectHello{Seed: 3, Target: cfg.TargetGain})
 		errCh <- err
 	}()
 	c, _ := NewCodec(CodecGob, clientConn, clientConn)
@@ -172,7 +173,7 @@ func TestServeImperfectRejectsPayloadlessSettle(t *testing.T) {
 	go func() {
 		defer serverConn.Close()
 		c, _ := NewCodec(CodecGob, serverConn, serverConn)
-		_, err := srv.ServeImperfectCodec(c, srv.Hello(), &ImperfectHello{Seed: 3, Target: cfg.TargetGain})
+		_, err := srv.ServeImperfectCodec(c, mustHello(t, srv), &ImperfectHello{Seed: 3, Target: cfg.TargetGain})
 		errCh <- err
 	}()
 	c, _ := NewCodec(CodecGob, clientConn, clientConn)

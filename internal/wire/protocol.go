@@ -31,6 +31,14 @@
 // handshake and speak gob with a server-first Hello, exactly as before; v2
 // preambles are still accepted. Envelope framing is codec-agnostic (see
 // Codec): gob for Go peers, JSON for everyone else.
+//
+// Secure key handling is pipelined: the server's Paillier key pair comes
+// from a secure.KeyProvider (generation runs off the registration path;
+// the first Hello of a market blocks until it lands), clients rebuild the
+// public key from Hello.PubN via secure.NewPublicKey, and both endpoints
+// draw precomputed r^n randomizers from secure.NoiseSource pools — the
+// client to encrypt settlements (one mulmod per settled round in steady
+// state), the server to blind ciphertexts before CRT decryption.
 package wire
 
 import (

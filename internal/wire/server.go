@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"math"
@@ -24,9 +25,17 @@ type DataServer struct {
 	// estimation error, so it is typically much larger than EpsData). 0
 	// falls back to EpsData.
 	EpsImperfect float64
-	// Secure enables Paillier settlement: the server generates a key pair
-	// per construction and publishes the public key in Hello.
+	// Secure enables Paillier settlement: the server publishes the public
+	// key in Hello and refuses cleartext settlements. The key pair comes
+	// from the key provider (NewDataServer starts an asynchronous
+	// generation so construction never blocks on prime search; see
+	// NewDataServerWithKeys for eager or imported keys).
 	Secure bool
+	// NoisePool sizes the per-server pool of precomputed decryption
+	// blinding factors (see secure.NoiseSource); concurrent secure
+	// sessions share it. <= 0 means secure.DefaultNoisePool. Set before
+	// the first session; PrimeNoise warms it.
+	NoisePool int
 	// MaxRounds guards against runaway clients. <= 0 means 1000.
 	MaxRounds int
 	// MaxExplorationRounds caps the client-supplied N of the imperfect
@@ -56,7 +65,20 @@ type DataServer struct {
 	// it must be safe for concurrent use.
 	OnRound func(rec core.RoundRecord)
 
-	priv *secure.PrivateKey
+	keys secure.KeyProvider
+
+	// noise is the server-side randomizer pool, built lazily once the key
+	// lands: settled ciphertexts are blinded with pooled factors before
+	// CRT decryption (side-channel hardening at mulmod cost). noiseMu
+	// orders the lazy build against Close — a pool first needed after
+	// Close is built workerless so nothing leaks.
+	noiseMu     sync.Mutex
+	noiseClosed bool
+	noise       *secure.NoiseSource
+
+	recvOnce sync.Once
+	recv     *secure.DataReceiver
+	recvErr  error
 
 	listingOnce sync.Once
 	listing     []BundleInfo
@@ -104,17 +126,87 @@ func (s *DataServer) ValidateImperfectHello(ih *ImperfectHello) error {
 }
 
 // NewDataServer builds a server over the catalog. keyBits sizes the
-// Paillier primes when secureMode is on (256 is fine for tests and demos).
+// Paillier primes when secureMode is on (256 is fine for tests and demos;
+// production wants 1536+). The key size is validated here, but generation
+// itself runs in the background: construction returns immediately and the
+// first use of the key (a Hello or a settlement) blocks until it lands.
 func NewDataServer(cat *core.Catalog, epsData float64, secureMode bool, keyBits int) (*DataServer, error) {
-	s := &DataServer{Catalog: cat, EpsData: epsData, Secure: secureMode}
-	if secureMode {
-		priv, err := secure.GenerateKey(rand.Reader, keyBits)
-		if err != nil {
-			return nil, err
-		}
-		s.priv = priv
+	if !secureMode {
+		return &DataServer{Catalog: cat, EpsData: epsData}, nil
 	}
-	return s, nil
+	keys, err := secure.AsyncKey(rand.Reader, keyBits)
+	if err != nil {
+		return nil, err
+	}
+	return NewDataServerWithKeys(cat, epsData, keys), nil
+}
+
+// NewDataServerWithKeys builds a Paillier-settling server over the catalog
+// with an explicit key provider — secure.StaticKey or secure.EagerKey for
+// deterministic tests and imported keys, secure.AsyncKey (what
+// NewDataServer uses) to keep prime search off the construction path.
+func NewDataServerWithKeys(cat *core.Catalog, epsData float64, keys secure.KeyProvider) *DataServer {
+	return &DataServer{Catalog: cat, EpsData: epsData, Secure: true, keys: keys}
+}
+
+// key resolves the server's key pair, blocking on an in-flight generation.
+func (s *DataServer) key() (*secure.PrivateKey, error) {
+	if s.keys == nil {
+		return nil, fmt.Errorf("wire: secure server has no key provider")
+	}
+	return s.keys.Key()
+}
+
+// receiver resolves the settlement decryptor and blinding pool once.
+func (s *DataServer) receiver() (*secure.DataReceiver, *secure.NoiseSource, error) {
+	s.recvOnce.Do(func() {
+		sk, err := s.key()
+		if err != nil {
+			s.recvErr = err
+			return
+		}
+		s.recv = secure.NewDataReceiver(sk)
+	})
+	if s.recvErr != nil {
+		return nil, nil, s.recvErr
+	}
+	s.noiseMu.Lock()
+	if s.noise == nil {
+		workers := 0
+		if s.noiseClosed {
+			workers = -1 // post-Close: a drawable-but-never-refilled shell
+		}
+		s.noise = secure.NewNoiseSource(s.recv.PublicKey(), s.NoisePool, workers, rand.Reader)
+	}
+	ns := s.noise
+	s.noiseMu.Unlock()
+	return s.recv, ns, nil
+}
+
+// PrimeNoise resolves the key (blocking on an asynchronous generation) and
+// fills the blinding pool to capacity, so the first secure settlements hit
+// a warm pool. Market frontends run it in the background at registration.
+func (s *DataServer) PrimeNoise(ctx context.Context) error {
+	if !s.Secure {
+		return nil
+	}
+	_, noise, err := s.receiver()
+	if err != nil {
+		return err
+	}
+	return noise.Prime(ctx)
+}
+
+// Close releases the server's background resources (the blinding pool's
+// workers). Serving after Close still works: pool draws fall back inline.
+func (s *DataServer) Close() {
+	s.noiseMu.Lock()
+	s.noiseClosed = true
+	ns := s.noise
+	s.noiseMu.Unlock()
+	if ns != nil {
+		ns.Close()
+	}
 }
 
 // SessionSummary is what the server records about one completed session.
@@ -131,8 +223,9 @@ type SessionSummary struct {
 // secure mode, the Paillier public key. Callers serving the v2 protocol
 // fill the Version/Market/Markets fields before sending. The listing is
 // built once per server (the catalog is immutable) and shared across
-// concurrent sessions; receivers must not mutate it.
-func (s *DataServer) Hello() *Hello {
+// concurrent sessions; receivers must not mutate it. In secure mode Hello
+// blocks until an in-flight key generation lands — the only error path.
+func (s *DataServer) Hello() (*Hello, error) {
 	s.listingOnce.Do(func() {
 		s.listing = make([]BundleInfo, 0, s.Catalog.Len())
 		for _, b := range s.Catalog.Bundles {
@@ -141,9 +234,13 @@ func (s *DataServer) Hello() *Hello {
 	})
 	hello := &Hello{Secure: s.Secure, Bundles: s.listing}
 	if s.Secure {
-		hello.PubN = s.priv.N.Bytes()
+		sk, err := s.key()
+		if err != nil {
+			return nil, err
+		}
+		hello.PubN = sk.N.Bytes()
 	}
-	return hello
+	return hello, nil
 }
 
 // ServeConn runs one legacy (v1) bargaining session over the connection
@@ -152,7 +249,11 @@ func (s *DataServer) Hello() *Hello {
 // and writes that stall past it fail the session with an error wrapping
 // ErrPeerTimeout.
 func (s *DataServer) ServeConn(conn net.Conn) (*SessionSummary, error) {
-	return s.ServeCodec(newCodec(WithIOTimeout(conn, s.IOTimeout)).c, s.Hello())
+	hello, err := s.Hello()
+	if err != nil {
+		return nil, err
+	}
+	return s.ServeCodec(newCodec(WithIOTimeout(conn, s.IOTimeout)).c, hello)
 }
 
 // ServeCodec runs one perfect-information bargaining session over an
@@ -360,7 +461,11 @@ func (s *DataServer) serve(l link, hello *Hello, a answerer) (*SessionSummary, e
 	}
 }
 
-// settledPayment extracts the payment from a settlement message.
+// settledPayment extracts the payment from a settlement message. In secure
+// mode the ciphertext is blinded with a pooled randomizer (when one is
+// available — a mulmod, never a modexp) before the CRT decryption, so the
+// exponentiation operand is unlinked from the wire bytes; the plaintext is
+// identical either way.
 func (s *DataServer) settledPayment(q core.QuotedPrice, st *Settle) (float64, error) {
 	if !s.Secure {
 		return q.Payment(st.Gain), nil
@@ -368,7 +473,10 @@ func (s *DataServer) settledPayment(q core.QuotedPrice, st *Settle) (float64, er
 	if len(st.EncPayment) == 0 {
 		return 0, fmt.Errorf("wire: secure session settled without ciphertext")
 	}
-	recv := secure.NewDataReceiver(s.priv)
-	ct := &secure.Ciphertext{C: new(big.Int).SetBytes(st.EncPayment)}
+	recv, noise, err := s.receiver()
+	if err != nil {
+		return 0, err
+	}
+	ct := noise.Blind(&secure.Ciphertext{C: new(big.Int).SetBytes(st.EncPayment)})
 	return recv.OpenPayment(&secure.GainReport{EncPayment: ct})
 }

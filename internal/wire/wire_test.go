@@ -10,6 +10,17 @@ import (
 	"repro/internal/rng"
 )
 
+// mustHello resolves the server's announcement, failing the test on a key
+// error (only possible on secure servers whose generation failed).
+func mustHello(tb testing.TB, s *DataServer) *Hello {
+	tb.Helper()
+	h, err := s.Hello()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return h
+}
+
 // buildMarket constructs a deterministic synthetic market shared by the
 // tests.
 func buildMarket(t testing.TB, seed uint64) (*core.Catalog, core.SessionConfig, core.GainProvider) {

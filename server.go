@@ -2,6 +2,7 @@ package vflmarket
 
 import (
 	"context"
+	"crypto/rand"
 	"fmt"
 	"net"
 	"runtime"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/secure"
 	"repro/internal/wire"
 )
 
@@ -63,6 +65,13 @@ type MarketMetrics struct {
 	// OracleCachedGains counts the bundle valuations the oracle has
 	// memoized.
 	OracleCachedGains int
+	// OracleHits counts bundle valuations the oracle served straight from
+	// its memo — training the sessions did not pay for.
+	OracleHits int
+	// OracleCoalesced counts callers the oracle's singleflight folded into
+	// an already-running training of the same bundle — the duplicate work
+	// concurrency would otherwise have multiplied.
+	OracleCoalesced int
 }
 
 // ServerMetrics is a point-in-time snapshot of a server's counters.
@@ -90,6 +99,8 @@ type serverConfig struct {
 	workers        int
 	ioTimeout      time.Duration
 	secureBits     int
+	eagerKeys      bool
+	noisePool      int
 	maxRounds      int
 	maxExploration int
 	maxReplay      int
@@ -118,8 +129,30 @@ func WithIOTimeout(d time.Duration) ServerOption {
 // each registered engine gets a key pair with primes of keyBits (256 is
 // fine for demos; production wants 1536+), the public key travels in the
 // Hello, and realized gains then never cross the wire in clear.
+//
+// Register no longer blocks on prime search: the key size is validated
+// synchronously, generation runs in the background, and the market's
+// randomizer pool is primed as soon as the key lands; the first secure
+// session (or listing) of a market blocks until its key is ready. Use
+// WithEagerSecureKeys to generate at Register instead.
 func WithSecureSettlement(keyBits int) ServerOption {
 	return func(c *serverConfig) { c.secureBits = keyBits }
+}
+
+// WithEagerSecureKeys makes Register generate each market's Paillier key
+// pair synchronously instead of in the background — for tests and for
+// deployments that want a market fully settled-in (key and primed noise
+// pool) before it is announced.
+func WithEagerSecureKeys() ServerOption {
+	return func(c *serverConfig) { c.eagerKeys = true }
+}
+
+// WithNoisePool sizes each secure market's pool of precomputed Paillier
+// randomizers (r^n mod n² factors used to blind settlement decryptions).
+// Concurrent sessions of a market share its pool. <= 0 keeps the default
+// (secure.DefaultNoisePool); inert without WithSecureSettlement.
+func WithNoisePool(n int) ServerOption {
+	return func(c *serverConfig) { c.noisePool = n }
 }
 
 // WithSessionRounds caps the quotes a single session may send before the
@@ -173,10 +206,14 @@ type Server struct {
 }
 
 // market is one registry entry: the wire endpoint, the engine behind it
-// (for oracle metrics), and per-market session counters.
+// (for oracle metrics), and per-market session counters. stopPrime
+// cancels the background pool priming kicked off at registration, so a
+// server shut down before a slow key generation lands does not go on to
+// fill a pool nothing will draw from.
 type market struct {
-	ds     *wire.DataServer
-	engine *Engine
+	ds        *wire.DataServer
+	engine    *Engine
+	stopPrime context.CancelFunc
 
 	sessions  atomic.Uint64
 	imperfect atomic.Uint64
@@ -204,9 +241,41 @@ func (s *Server) Register(name string, e *Engine) error {
 		return fmt.Errorf("vflmarket: market %q needs an engine", name)
 	}
 	tmpl := e.Session()
-	ds, err := wire.NewDataServer(e.Catalog(), tmpl.EpsData, s.cfg.secureBits > 0, s.cfg.secureBits)
-	if err != nil {
-		return fmt.Errorf("vflmarket: market %q: %w", name, err)
+	var ds *wire.DataServer
+	var stopPrime context.CancelFunc
+	if s.cfg.secureBits > 0 {
+		// Key generation stays off the Register path: an AsyncKey searches
+		// primes in the background and the market's randomizer pool is
+		// primed as soon as the key lands (the priming is cancelled if the
+		// server shuts down first). Eager mode generates the key AND fills
+		// the pool here, so the market is fully settled-in on return.
+		var keys secure.KeyProvider
+		var err error
+		if s.cfg.eagerKeys {
+			keys, err = secure.EagerKey(rand.Reader, s.cfg.secureBits)
+		} else {
+			keys, err = secure.AsyncKey(rand.Reader, s.cfg.secureBits)
+		}
+		if err != nil {
+			return fmt.Errorf("vflmarket: market %q: %w", name, err)
+		}
+		ds = wire.NewDataServerWithKeys(e.Catalog(), tmpl.EpsData, keys)
+		ds.NoisePool = s.cfg.noisePool
+		if s.cfg.eagerKeys {
+			if err := ds.PrimeNoise(context.Background()); err != nil {
+				return fmt.Errorf("vflmarket: market %q: %w", name, err)
+			}
+		} else {
+			var primeCtx context.Context
+			primeCtx, stopPrime = context.WithCancel(context.Background())
+			go ds.PrimeNoise(primeCtx) //nolint:errcheck // best-effort; sessions prime lazily
+		}
+	} else {
+		var err error
+		ds, err = wire.NewDataServer(e.Catalog(), tmpl.EpsData, false, 0)
+		if err != nil {
+			return fmt.Errorf("vflmarket: market %q: %w", name, err)
+		}
 	}
 	ds.MaxRounds = s.cfg.maxRounds
 	ds.MaxExplorationRounds = s.cfg.maxExploration
@@ -225,9 +294,14 @@ func (s *Server) Register(name string, e *Engine) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.markets[name]; dup {
+		// The rejected entry's background work must not outlive it.
+		if stopPrime != nil {
+			stopPrime()
+		}
+		ds.Close()
 		return fmt.Errorf("vflmarket: market %q already registered", name)
 	}
-	s.markets[name] = &market{ds: ds, engine: e}
+	s.markets[name] = &market{ds: ds, engine: e, stopPrime: stopPrime}
 	s.order = append(s.order, name)
 	return nil
 }
@@ -260,12 +334,14 @@ func (s *Server) MarketMetrics() map[string]MarketMetrics {
 	defer s.mu.RUnlock()
 	out := make(map[string]MarketMetrics, len(s.markets))
 	for name, m := range s.markets {
-		trainings, cached := m.engine.OracleStats()
+		os := m.engine.OracleMetrics()
 		out[name] = MarketMetrics{
 			Sessions:          m.sessions.Load(),
 			ImperfectSessions: m.imperfect.Load(),
-			OracleTrainings:   trainings,
-			OracleCachedGains: cached,
+			OracleTrainings:   os.Trainings,
+			OracleCachedGains: os.CachedGains,
+			OracleHits:        os.Hits,
+			OracleCoalesced:   os.Coalesced,
 		}
 	}
 	return out
@@ -327,6 +403,21 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	}
 	close(conns)
 	wg.Wait()
+	// Release per-market background resources (secure randomizer pools) —
+	// but only on deliberate shutdown: closing a pool is permanent, and a
+	// transient listener error should leave the markets warm for the
+	// operator's retry Serve. A market served after its pool closed still
+	// settles correctly: pool draws fall back to inline computation.
+	if ctx.Err() != nil {
+		s.mu.RLock()
+		for _, m := range s.markets {
+			if m.stopPrime != nil {
+				m.stopPrime()
+			}
+			m.ds.Close()
+		}
+		s.mu.RUnlock()
+	}
 	return err
 }
 
@@ -419,7 +510,15 @@ func (s *Server) handle(conn net.Conn) {
 		}
 	}
 
-	hello := mkt.ds.Hello()
+	// In secure mode the Hello carries the market's public key, so this
+	// blocks until a background key generation lands (first session only).
+	hello, err := mkt.ds.Hello()
+	if err != nil {
+		s.rejected.Add(1)
+		wire.SendError(codec, "%v", err)
+		notify(name, nil, err)
+		return
+	}
 	hello.Version = wire.ProtocolVersion
 	hello.Market = name
 	hello.Markets = markets
