@@ -3,6 +3,7 @@ package vflmarket
 import (
 	"context"
 	"crypto/rand"
+	"errors"
 	"fmt"
 	"math/big"
 	"net"
@@ -25,7 +26,18 @@ type dialConfig struct {
 	gains       GainProvider
 	imperfect   *ImperfectParams
 	noisePool   int
+	identity    string
 }
+
+// Auto-resume policy for identified imperfect sessions: how many times one
+// BargainImperfect call redials after a transport failure, and how long it
+// waits between attempts (enough for a crashed server to come back during
+// a supervised restart, without stalling a genuinely dead endpoint for
+// long).
+const (
+	resumeAttempts = 12
+	resumeBackoff  = 150 * time.Millisecond
+)
 
 // WithCodec selects the wire framing: CodecGob (default, Go-native) or
 // CodecJSON (interoperable with non-Go task parties).
@@ -74,6 +86,17 @@ func WithImperfect(p ImperfectParams) DialOption {
 	return func(c *dialConfig) { cp := p; c.imperfect = &cp }
 }
 
+// WithIdentity names the client to the server for imperfect sessions: up
+// to 64 characters of [A-Za-z0-9_-]. Against a state-bound server, the
+// identity keys the server-side estimator checkpoints, which buys the
+// client automatic session resume — if the connection (or the server)
+// dies mid-game, BargainImperfect redials with the last acknowledged
+// round and both endpoints continue from their checkpoints, bit-identical
+// to an uninterrupted run, instead of re-exploring from round one. The
+// identity should be unique per concurrent session: two live sessions
+// sharing one identity overwrite each other's checkpoints.
+func WithIdentity(id string) DialOption { return func(c *dialConfig) { c.identity = id } }
+
 // WithClientNoisePool sizes the client's pool of precomputed Paillier
 // randomizers when the server settles securely: background workers keep
 // r^n mod n² factors ready for the server's key, so each settled round's
@@ -111,6 +134,9 @@ func Dial(ctx context.Context, addr string, opts ...DialOption) (*Client, error)
 	cfg := dialConfig{codec: CodecGob, ioTimeout: 30 * time.Second}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if err := wire.ValidateClientID(cfg.identity); err != nil {
+		return nil, fmt.Errorf("vflmarket: %w", err)
 	}
 	c := &Client{addr: addr, cfg: cfg}
 	hello, err := c.probe(ctx)
@@ -238,6 +264,9 @@ func (c *Client) BargainImperfect(ctx context.Context, opts BargainOptions) (*Im
 // Engine.BargainImperfectWith. gains may be nil when the Client was dialed
 // with WithGains.
 func (c *Client) BargainImperfectWith(ctx context.Context, cfg SessionConfig, params ImperfectParams, gains GainProvider, obs ...RoundObserver) (*ImperfectResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	params = params.WithDefaults()
 	// The handshake advertises the regime and the mutually known §3.5
 	// parameters, so the remote data party constructs the exact
@@ -250,18 +279,57 @@ func (c *Client) BargainImperfectWith(ctx context.Context, cfg SessionConfig, pa
 			Target:            cfg.TargetGain,
 			ExplorationRounds: params.ExplorationRounds,
 			ReplaySteps:       params.ReplaySteps,
+			ClientID:          c.cfg.identity,
 		},
 	}
-	var res *ImperfectResult
-	err := c.withSession(ctx, gains, hs, func(ctx context.Context, tc *wire.TaskClient, codec wire.Codec, hello *wire.Hello) error {
-		var err error
-		res, err = tc.BargainImperfectCodec(ctx, codec, hello, params)
-		return err
-	}, cfg, obs)
-	if err != nil {
-		return nil, err
+	// An identified client bargains under the auto-resume policy: every
+	// settled round checkpoints the buyer's estimator, and a transport
+	// failure redials presenting the last acknowledged round, so the session
+	// continues from its checkpoints instead of starting over. Without an
+	// identity a failure surfaces immediately, as before.
+	attempts := 1
+	if c.cfg.identity != "" {
+		attempts = resumeAttempts
 	}
-	return res, nil
+	var res *ImperfectResult
+	var last *core.ImperfectCheckpoint
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(resumeBackoff):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("vflmarket: bargaining abandoned: %w", context.Cause(ctx))
+			}
+		}
+		ck := last
+		if ck != nil {
+			hs.Imperfect.ResumeRound = ck.Round
+		} else {
+			hs.Imperfect.ResumeRound = 0
+		}
+		err = c.withSession(ctx, gains, hs, func(ctx context.Context, tc *wire.TaskClient, codec wire.Codec, hello *wire.Hello) error {
+			tc.Checkpoint = func(k *core.ImperfectCheckpoint) { last = k }
+			var rerr error
+			if ck != nil {
+				res, rerr = tc.ResumeImperfectCodec(ctx, codec, hello, params, ck)
+			} else {
+				res, rerr = tc.BargainImperfectCodec(ctx, codec, hello, params)
+			}
+			return rerr
+		}, cfg, obs)
+		if err == nil {
+			return res, nil
+		}
+		// A typed rejection is final — the server told us why, and retrying
+		// replays the same refusal. Cancellation is the caller's word.
+		// Everything else (transport death, busy, timeout) gets another
+		// attempt.
+		if errors.Is(err, wire.ErrRejected) || ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	return nil, err
 }
 
 // BargainWith plays one session with a fully custom session configuration,

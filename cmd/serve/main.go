@@ -7,7 +7,13 @@
 //
 //	go run ./cmd/serve -addr :7070 -markets titanic,credit [-synthetic=false]
 //	    [-model forest] [-scale 0.5] [-seed 1] [-workers 0] [-secure]
-//	    [-keybits 256] [-timeout 30s] [-v]
+//	    [-keybits 256] [-timeout 30s] [-state DIR] [-v]
+//
+// With -state, the service is durable: valuation memos, per-client
+// estimator checkpoints, and Paillier keys persist under DIR (flushed
+// periodically, on Ctrl-C, and on SIGTERM), so a restarted server prices
+// its catalog warm, re-announces the same key, and resumes interrupted
+// imperfect sessions mid-game.
 //
 // Clients select a market by name (see cmd/vflmarket -connect, or the
 // vflmarket.Dial API); gob and JSON codecs are both served, and both
@@ -43,6 +49,7 @@ func main() {
 	noisePool := flag.Int("noisepool", 0, "per-market pool of precomputed Paillier randomizers with -secure (0 = default)")
 	eagerKeys := flag.Bool("eagerkeys", false, "generate Paillier keys at registration instead of in the background")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-read/write IO deadline")
+	stateDir := flag.String("state", "", "durable state directory (empty = memory-only)")
 	verbose := flag.Bool("v", false, "log every session")
 	flag.Parse()
 
@@ -58,6 +65,9 @@ func main() {
 		if *eagerKeys {
 			opts = append(opts, vflmarket.WithEagerSecureKeys())
 		}
+	}
+	if *stateDir != "" {
+		opts = append(opts, vflmarket.WithStateDir(*stateDir))
 	}
 	if *verbose {
 		opts = append(opts, vflmarket.WithSessionHook(func(ev vflmarket.SessionEvent) {
@@ -79,12 +89,14 @@ func main() {
 		if name == "" {
 			continue
 		}
-		engine, err := vflmarket.NewEngine(name,
-			vflmarket.WithModel(*model),
-			vflmarket.WithSeed(*seed),
-			vflmarket.WithScale(*scale),
-			vflmarket.WithSynthetic(*synthetic),
-		)
+		engine, err := vflmarket.NewEngineFromConfig(vflmarket.Config{
+			Dataset:   name,
+			Model:     *model,
+			Seed:      *seed,
+			Scale:     *scale,
+			Synthetic: *synthetic,
+			StateDir:  *stateDir,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -93,6 +105,13 @@ func main() {
 		}
 		fmt.Printf("market %-8s ready: %d bundles (εd=%g)\n",
 			name, engine.Catalog().Len(), engine.Session().EpsData)
+	}
+	if *stateDir != "" {
+		marketMetrics := srv.MarketMetrics()
+		for _, name := range srv.Markets() {
+			fmt.Printf("market %-8s state: %d valuations restored from %s\n",
+				name, marketMetrics[name].OracleRestored, *stateDir)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -104,13 +123,22 @@ func main() {
 	err = srv.Serve(ctx, ln)
 	m := srv.Metrics()
 	fmt.Printf("\nshutdown: %v\n", err)
-	fmt.Printf("sessions: %d accepted, %d bargained, %d closed, %d failed, %d rejected\n",
-		m.Accepted, m.Sessions, m.Closed, m.Failed, m.Rejected)
+	fmt.Printf("sessions: %d accepted, %d bargained, %d closed, %d failed, %d rejected, %d busy\n",
+		m.Accepted, m.Sessions, m.Closed, m.Failed, m.Rejected, m.Busy)
 	marketMetrics := srv.MarketMetrics()
 	for _, name := range srv.Markets() {
 		mm := marketMetrics[name]
-		fmt.Printf("market %-8s %d sessions (%d imperfect), oracle: %d VFL trainings, %d cached gains, %d memo hits, %d coalesced\n",
-			name, mm.Sessions, mm.ImperfectSessions, mm.OracleTrainings, mm.OracleCachedGains,
+		fmt.Printf("market %-8s %d sessions (%d imperfect, %d resumed), oracle: %d VFL trainings, %d cached gains, %d memo hits, %d coalesced\n",
+			name, mm.Sessions, mm.ImperfectSessions, mm.ResumedSessions, mm.OracleTrainings, mm.OracleCachedGains,
 			mm.OracleHits, mm.OracleCoalesced)
+	}
+	// Serve flushed at shutdown; this second flush only matters if that one
+	// failed, and reports the failure where the operator can see it.
+	if *stateDir != "" {
+		if ferr := srv.FlushState(); ferr != nil {
+			log.Printf("state flush: %v", ferr)
+		} else {
+			fmt.Printf("state flushed to %s\n", *stateDir)
+		}
 	}
 }

@@ -39,13 +39,22 @@ func WithValuationWorkers(n int) Option {
 	return func(c *Config) { c.ValuationWorkers = n }
 }
 
+// WithState binds the engine to a durable MarketState: its valuation
+// oracle is resolved through the state's registry — preloading any memo a
+// previous process flushed, so a warm store prices the catalog with zero
+// new trainings — and Engine.FlushState spills the memo back. Most callers
+// want Config.StateDir (or the server's WithStateDir) instead; an explicit
+// handle is for tests simulating restarts with OpenMarketState.
+func WithState(ms *MarketState) Option { return func(c *Config) { c.State = ms } }
+
 // Engine is a built market environment — the data party's priced catalog
 // plus the task party's session template — ready to run any number of
 // bargaining sessions. An Engine is immutable after construction and safe
 // for concurrent use: every run derives all mutable state from its own
 // session configuration.
 type Engine struct {
-	env *exp.Env
+	env   *exp.Env
+	state *MarketState
 }
 
 // NewEngine builds an engine for the named dataset ("titanic", "credit",
@@ -88,11 +97,38 @@ func NewEngineFromConfig(cfg Config) (*Engine, error) {
 		p.GainSource = exp.GainSynthetic
 	}
 	p.ValuationWorkers = cfg.ValuationWorkers
+	ms := cfg.State
+	if ms == nil && cfg.StateDir != "" {
+		var err error
+		if ms, err = SharedMarketState(cfg.StateDir); err != nil {
+			return nil, err
+		}
+	}
+	if ms != nil {
+		// Route the valuation oracle through the durable registry BEFORE the
+		// environment prices its catalog: a warm store then answers every
+		// pre-pricing valuation from the preloaded memo, with zero trainings.
+		p.Registry = ms.Registry()
+	}
 	env, err := exp.BuildEnv(p, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{env: env}, nil
+	return &Engine{env: env, state: ms}, nil
+}
+
+// State returns the durable MarketState the engine was bound to, nil for a
+// memory-only engine.
+func (e *Engine) State() *MarketState { return e.state }
+
+// FlushState spills the engine's durable state (the valuation memo, plus
+// anything else sharing the MarketState) to disk. A no-op without a bound
+// state.
+func (e *Engine) FlushState() error {
+	if e.state == nil {
+		return nil
+	}
+	return e.state.Flush()
 }
 
 // Catalog exposes the data party's inventory.

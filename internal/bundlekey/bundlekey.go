@@ -35,3 +35,22 @@ func Key(features []int) string {
 	}
 	return string(buf)
 }
+
+// Fields canonicalizes a composite identity — e.g. the (dataset, seed,
+// config) triple that keys a process-wide valuation oracle — by joining its
+// parts with '|'. Parts should themselves be canonical (no '|'); the
+// function is a single point of agreement on the separator, nothing more.
+func Fields(parts ...string) string {
+	n := 0
+	for _, p := range parts {
+		n += len(p) + 1
+	}
+	buf := make([]byte, 0, n)
+	for i, p := range parts {
+		if i > 0 {
+			buf = append(buf, '|')
+		}
+		buf = append(buf, p...)
+	}
+	return string(buf)
+}

@@ -46,6 +46,11 @@ type EstimatorSeller struct {
 	history      []bundleSample
 	mse          []float64
 	targetBundle int
+
+	// settledRound and lastOffer track the seller's resume position: the
+	// last round it settled and the offer it made for it (see Snapshot).
+	settledRound int
+	lastOffer    SellerOffer
 }
 
 // bundleSample is one realized (bundle, gain) pair of the replay buffer.
@@ -102,10 +107,12 @@ func (s *EstimatorSeller) Offer(round int, q QuotedPrice) (SellerOffer, error) {
 	default:
 		bundleID, accept = s.caseTwoChoice(q, affordable)
 	}
-	return SellerOffer{
+	offer := SellerOffer{
 		BundleID: bundleID, Features: s.cat.Bundles[bundleID].Features,
 		Accept: accept, TargetBundleID: s.targetBundle,
-	}, nil
+	}
+	s.lastOffer = offer
+	return offer, nil
 }
 
 // caseTwoChoice applies the post-exploration Case II policy: pick the
@@ -178,6 +185,7 @@ func (s *EstimatorSeller) Settle(round int, rec RoundRecord, d SettleDecision) e
 		past := s.history[s.replaySrc.IntN(len(s.history))]
 		s.g.Update(past.features, past.gain)
 	}
+	s.settledRound = round
 	return nil
 }
 

@@ -341,6 +341,16 @@ func (s *Session) preparePerfect() (*perfectPolicy, error) {
 // instead.
 func (s *Session) play(ctx context.Context, cfg SessionConfig, policy buyerPolicy, seller Seller,
 	realize func(SellerOffer) float64, res *Result) error {
+	return s.playFrom(ctx, cfg, policy, seller, realize, res, 1)
+}
+
+// playFrom is play starting at an arbitrary round — the resume entry point.
+// start > 1 means rounds 1..start-1 already happened (the policy and seller
+// were restored to their post-settlement state of round start-1) and the
+// round-start quote is derived exactly as the uninterrupted loop would have:
+// policy.next(·, start) from the stream position the checkpoint froze.
+func (s *Session) playFrom(ctx context.Context, cfg SessionConfig, policy buyerPolicy, seller Seller,
+	realize func(SellerOffer) float64, res *Result, start int) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -371,7 +381,15 @@ func (s *Session) play(ctx context.Context, cfg SessionConfig, policy buyerPolic
 	// it could rationally offer; the policy decides how many are tolerated.
 	patience := policy.barrenPatience()
 	barren := 0
-	for T := 1; T <= cfg.MaxRounds; T++ {
+	if start > 1 {
+		next, ok := policy.next(quote, start)
+		if !ok {
+			abandon(start)
+			return finish(FailMaxRounds)
+		}
+		quote = next
+	}
+	for T := start; T <= cfg.MaxRounds; T++ {
 		if err := checkCtx(ctx, T); err != nil {
 			return err
 		}
@@ -435,6 +453,9 @@ func (s *Session) play(ctx context.Context, cfg SessionConfig, policy buyerPolic
 		if decision != SettleContinue {
 			return finish(outcome)
 		}
+		// Both parties settled and continue: the one moment their states
+		// are in lockstep — the resume point a checkpoint freezes.
+		s.checkpoint(T, policy, seller, res)
 		// Case 6 / Case VII: escalate (or re-sample) the quote.
 		next, ok := policy.next(quote, T+1)
 		if !ok {

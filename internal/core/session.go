@@ -55,6 +55,9 @@ type Session struct {
 	cat       *Catalog
 	cfg       SessionConfig
 	observers []RoundObserver
+	// ckptSink, when set via OnCheckpoint, receives the task party's frozen
+	// state after every mutually settled, non-terminal imperfect round.
+	ckptSink func(*ImperfectCheckpoint)
 }
 
 // NewSession pairs a catalog with a session configuration. The

@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/bundlekey"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/rng"
@@ -59,6 +60,29 @@ type Profile struct {
 	// catalog under GainVFL: 0 means min(GOMAXPROCS, bundles), 1 restores
 	// serial pricing.
 	ValuationWorkers int
+	// Registry, when non-nil, resolves the profile's GainVFL oracle through
+	// the process-wide registry instead of building a private one: profiles
+	// with the same OracleKey share one oracle (and its valuation memo), and
+	// a persistence-backed registry pre-loads the memo from disk — so
+	// catalog construction prices warm bundles without retraining. Inert
+	// under GainSynthetic.
+	Registry *vfl.Registry
+}
+
+// OracleKey is the canonical composite identity of the profile's valuation
+// oracle: everything that determines a bundle's measured gain — dataset,
+// model, seed, and every training knob. Profiles agreeing on this key can
+// share one oracle and each other's persisted valuations; any difference
+// keys a distinct oracle.
+func (p Profile) OracleKey(seed uint64) string {
+	return bundlekey.Fields(
+		"oracle", string(p.Name), fmt.Sprintf("model:%d", p.Model),
+		fmt.Sprintf("seed:%d", seed),
+		fmt.Sprintf("cap:%d", p.SampleCap),
+		fmt.Sprintf("trees:%d:%d:%d", p.ForestTrees, p.ForestDepth, p.ForestMaxFeatures),
+		fmt.Sprintf("epochs:%d", p.MLPEpochs),
+		fmt.Sprintf("repeats:%d", p.GainRepeats),
+	)
 }
 
 // DefaultProfile returns the paper-aligned profile for a dataset and base
@@ -166,7 +190,18 @@ func BuildEnv(p Profile, seed uint64) (*Env, error) {
 			Epochs:  p.MLPEpochs,
 			Repeats: p.GainRepeats,
 		}
-		oracle = vfl.NewGainOracle(problem, cfg)
+		if p.Registry != nil {
+			// The registry owns oracle identity: same key → same oracle, so
+			// concurrent engines over one dataset share one memo, and a
+			// persistence-backed registry hands back a pre-loaded one — the
+			// catalog construction below then prices from the memo instead
+			// of retraining.
+			oracle, _ = p.Registry.Oracle(p.OracleKey(seed), func() *vfl.GainOracle {
+				return vfl.NewGainOracle(problem, cfg)
+			})
+		} else {
+			oracle = vfl.NewGainOracle(problem, cfg)
+		}
 		// The oracle itself is the provider (not a GainFunc closure over it)
 		// so catalog construction sees its Warm method and pre-prices the
 		// inventory across the valuation worker pool.

@@ -4,15 +4,19 @@ import (
 	"context"
 	"os"
 	"os/signal"
+	"syscall"
 )
 
-// SignalContext returns a context cancelled by the first interrupt, for the
-// CLI frontends. After that first interrupt the handler is unregistered, so
-// a second Ctrl-C kills the process even while it is inside work that does
-// not check the context (the environment build trains VFL courses; only
-// bargaining rounds poll ctx). stop releases the signal registration.
+// SignalContext returns a context cancelled by the first interrupt or
+// termination signal, for the CLI frontends. SIGTERM is included so a
+// supervised shutdown (systemd, Docker, kill) drains sessions and flushes
+// durable state exactly like Ctrl-C. After that first signal the handler is
+// unregistered, so a second one kills the process even while it is inside
+// work that does not check the context (the environment build trains VFL
+// courses; only bargaining rounds poll ctx). stop releases the signal
+// registration.
 func SignalContext() (ctx context.Context, stop context.CancelFunc) {
-	ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	go func() { <-ctx.Done(); stop() }()
 	return ctx, stop
 }

@@ -15,12 +15,34 @@ import (
 // concurrent use; split independent children instead of sharing one stream.
 type Source struct {
 	r *rand.Rand
+	// pcg is the same generator r draws from, retained so the stream's
+	// position can be snapshotted and restored (State/SetState). rand.Rand
+	// in math/rand/v2 keeps no state of its own — every variate, including
+	// NormFloat64's ziggurat, draws directly from the source — so the PCG
+	// state is the complete stream state.
+	pcg *rand.PCG
 }
 
 // New returns a Source seeded from seed. Two Sources created with the same
 // seed produce identical streams.
 func New(seed uint64) *Source {
-	return &Source{r: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+	return fromPCG(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+func fromPCG(p *rand.PCG) *Source {
+	return &Source{r: rand.New(p), pcg: p}
+}
+
+// State returns an opaque snapshot of the stream's position. A Source
+// restored from it (SetState) continues the exact variate sequence this one
+// would have produced.
+func (s *Source) State() ([]byte, error) {
+	return s.pcg.MarshalBinary()
+}
+
+// SetState repositions the stream to a snapshot taken with State.
+func (s *Source) SetState(b []byte) error {
+	return s.pcg.UnmarshalBinary(b)
 }
 
 // DeriveSeed deterministically mixes a master seed with a stream index into
@@ -45,7 +67,7 @@ func (s *Source) Split(label uint64) *Source {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	z ^= z >> 31
-	return &Source{r: rand.New(rand.NewPCG(s.r.Uint64()^z, z))}
+	return fromPCG(rand.NewPCG(s.r.Uint64()^z, z))
 }
 
 // Float64 returns a uniform value in [0, 1).

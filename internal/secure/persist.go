@@ -1,0 +1,185 @@
+package secure
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+)
+
+// KeyStore is the slice of the durable store key persistence needs: named,
+// versioned payloads. *store.Store satisfies it.
+type KeyStore interface {
+	Save(name string, version uint32, payload []byte) error
+	Load(name string, maxVersion uint32) (payload []byte, version uint32, err error)
+}
+
+// keySchemaVersion is the payload schema of a persisted key record.
+const keySchemaVersion = 1
+
+// keyRecord is the on-disk shape of one market's current Paillier key: the
+// primes (everything else is derived) plus the rotation generation.
+type keyRecord struct {
+	Generation int
+	Bits       int
+	P, Q       []byte
+}
+
+// Primes returns copies of the key's prime factors — the persistable core
+// of the key (NewPrivateKeyFromPrimes rebuilds everything else).
+func (sk *PrivateKey) Primes() (p, q *big.Int) {
+	return new(big.Int).Set(sk.p), new(big.Int).Set(sk.q)
+}
+
+// RotatingKey is a KeyProvider whose key can be replaced at runtime and,
+// optionally, persisted. Key always returns the current generation's key
+// (blocking until the first generation lands); Rotate synchronously
+// generates a fresh pair, makes it current, and persists it. Sessions that
+// captured the previous key keep decrypting with it — rotation changes what
+// new sessions are announced, it does not revoke in-flight ones; the wire
+// layer drains old-key sessions against their captured key state.
+type RotatingKey struct {
+	random io.Reader
+	bits   int
+	st     KeyStore // nil: rotation without persistence
+	name   string
+
+	mu       sync.Mutex
+	ready    chan struct{} // closed once the first generation lands
+	cur      *PrivateKey
+	gen      int
+	err      error
+	restored bool
+}
+
+// Key implements KeyProvider: the current generation's key, blocking until
+// the first generation lands.
+func (r *RotatingKey) Key() (*PrivateKey, error) {
+	<-r.ready
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cur, r.err
+}
+
+// Generation reports the current key generation: 1 for the boot key
+// (restored or generated), +1 per Rotate. 0 means generation has not landed
+// yet.
+func (r *RotatingKey) Generation() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gen
+}
+
+// Restored reports whether the boot key was loaded from the store rather
+// than generated. It blocks until the first generation lands.
+func (r *RotatingKey) Restored() bool {
+	<-r.ready
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.restored
+}
+
+// install makes sk current and persists it; callers hold no lock.
+func (r *RotatingKey) install(sk *PrivateKey, gen int, restored bool) error {
+	if r.st != nil {
+		p, q := sk.Primes()
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(keyRecord{
+			Generation: gen, Bits: r.bits, P: p.Bytes(), Q: q.Bytes(),
+		}); err != nil {
+			return fmt.Errorf("secure: persist key: %w", err)
+		}
+		if err := r.st.Save(r.name, keySchemaVersion, buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	r.mu.Lock()
+	r.cur, r.gen, r.err, r.restored = sk, gen, nil, restored
+	r.mu.Unlock()
+	return nil
+}
+
+// Rotate synchronously generates a fresh key pair, persists it, and makes
+// it the provider's current key. The previous key remains valid for
+// sessions that already captured it.
+func (r *RotatingKey) Rotate() (*PrivateKey, error) {
+	<-r.ready // never interleave with boot generation
+	sk, err := GenerateKey(r.random, r.bits)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	gen := r.gen + 1
+	r.mu.Unlock()
+	if err := r.install(sk, gen, false); err != nil {
+		return nil, err
+	}
+	return sk, nil
+}
+
+// NewRotatingKey builds a rotation-capable provider without persistence:
+// the boot key generates in the background like AsyncKey.
+func NewRotatingKey(random io.Reader, bits int) (*RotatingKey, error) {
+	return PersistedKey(nil, "", random, bits, false)
+}
+
+// PersistedKey builds a rotation-capable provider backed by the store: the
+// boot key is loaded from st (validated; a corrupt or missing record means
+// a cold start) or generated — in the background, unless eager — and every
+// installed key is written back, so a restarted market re-announces the
+// same modulus its clients knew. st may be nil for memory-only rotation.
+func PersistedKey(st KeyStore, name string, random io.Reader, bits int, eager bool) (*RotatingKey, error) {
+	if err := ValidateKeyBits(bits); err != nil {
+		return nil, err
+	}
+	r := &RotatingKey{random: random, bits: bits, st: st, name: name, ready: make(chan struct{})}
+	boot := func() error {
+		defer close(r.ready)
+		if sk, gen, ok := r.load(); ok {
+			return r.install(sk, gen, true)
+		}
+		sk, err := GenerateKey(random, bits)
+		if err != nil {
+			r.mu.Lock()
+			r.err = err
+			r.mu.Unlock()
+			return err
+		}
+		return r.install(sk, 1, false)
+	}
+	if eager {
+		if err := boot(); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+	go func() { _ = boot() }()
+	return r, nil
+}
+
+// load reads and validates the persisted key record. Any failure — missing,
+// corrupt, wrong bit size, composite factors — reports ok=false and the
+// provider generates fresh.
+func (r *RotatingKey) load() (sk *PrivateKey, gen int, ok bool) {
+	if r.st == nil {
+		return nil, 0, false
+	}
+	payload, _, err := r.st.Load(r.name, keySchemaVersion)
+	if err != nil {
+		return nil, 0, false
+	}
+	var rec keyRecord
+	if gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec) != nil {
+		return nil, 0, false
+	}
+	if rec.Bits != r.bits || rec.Generation < 1 {
+		return nil, 0, false
+	}
+	sk, err = NewPrivateKeyFromPrimes(new(big.Int).SetBytes(rec.P), new(big.Int).SetBytes(rec.Q))
+	if err != nil {
+		return nil, 0, false
+	}
+	return sk, rec.Generation, true
+}

@@ -1,0 +1,107 @@
+package secure
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func TestPersistedKeySurvivesRestart(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := PersistedKey(st, "keys/titanic", rand.Reader, MinKeyBits, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk1, err := k1.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.Restored() || k1.Generation() != 1 {
+		t.Fatalf("fresh key: restored=%v gen=%d", k1.Restored(), k1.Generation())
+	}
+
+	// "Restart": a new provider over the same store must announce the same
+	// modulus without a prime search.
+	k2, err := PersistedKey(st, "keys/titanic", rand.Reader, MinKeyBits, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk2, _ := k2.Key()
+	if !k2.Restored() {
+		t.Fatal("second boot did not restore")
+	}
+	if sk1.N.Cmp(sk2.N) != 0 {
+		t.Fatal("restored modulus differs")
+	}
+	// The restored key must actually decrypt.
+	pk := &sk2.PublicKey
+	c, err := pk.Encrypt(rand.Reader, big.NewInt(424242))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sk2.Decrypt(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Int64() != 424242 {
+		t.Fatalf("restored key decrypted %v", m)
+	}
+}
+
+func TestRotatePersistsNewGeneration(t *testing.T) {
+	st, _ := store.Open(t.TempDir())
+	k, err := PersistedKey(st, "keys/m", rand.Reader, MinKeyBits, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, _ := k.Key()
+	fresh, err := k.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.N.Cmp(old.N) == 0 {
+		t.Fatal("rotation kept the same modulus")
+	}
+	if k.Generation() != 2 {
+		t.Fatalf("generation = %d, want 2", k.Generation())
+	}
+	cur, _ := k.Key()
+	if cur.N.Cmp(fresh.N) != 0 {
+		t.Fatal("Key() does not return the rotated key")
+	}
+	// Restart restores the rotated generation, not the boot key.
+	k2, _ := PersistedKey(st, "keys/m", rand.Reader, MinKeyBits, true)
+	sk2, _ := k2.Key()
+	if sk2.N.Cmp(fresh.N) != 0 || k2.Generation() != 2 {
+		t.Fatalf("restart restored gen %d modulus match=%v", k2.Generation(), sk2.N.Cmp(fresh.N) == 0)
+	}
+}
+
+func TestPersistedKeyCorruptRecordBootsCold(t *testing.T) {
+	st, _ := store.Open(t.TempDir())
+	k1, _ := PersistedKey(st, "keys/m", rand.Reader, MinKeyBits, true)
+	sk1, _ := k1.Key()
+	// Corrupt the record body (valid framing, garbage payload).
+	if err := st.Save("keys/m", 1, []byte("not a gob key record")); err != nil {
+		t.Fatal(err)
+	}
+	k2, err := PersistedKey(st, "keys/m", rand.Reader, MinKeyBits, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk2, err := k2.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2.Restored() {
+		t.Fatal("corrupt record reported restored")
+	}
+	if sk1.N.Cmp(sk2.N) == 0 {
+		t.Fatal("corrupt record somehow reproduced the key")
+	}
+}

@@ -1,0 +1,144 @@
+package vfl
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// Snapshots is the slice of the durable store the registry needs: named,
+// versioned payloads. *store.Store satisfies it; a nil Snapshots makes the
+// registry memory-only (sharing without persistence).
+type Snapshots interface {
+	Save(name string, version uint32, payload []byte) error
+	Load(name string, maxVersion uint32) (payload []byte, version uint32, err error)
+}
+
+// memoSchemaVersion is the payload schema of a persisted oracle memo.
+const memoSchemaVersion = 1
+
+// memoFile is the on-disk shape of one oracle's memo. Key is the full
+// composite oracle key, stored so a digest collision (or a renamed dataset
+// reusing a file) loads cold instead of silently serving another oracle's
+// valuations.
+type memoFile struct {
+	Key  string
+	Memo MemoSnapshot
+}
+
+// Registry shares GainOracles process-wide and persists their valuation
+// memos. Oracles are keyed by a canonical composite identity — everything
+// that determines a gain value: dataset, oracle seed, and training config
+// (see bundlekey.Fields) — so two engines over the same data reuse one
+// oracle and every VFL course trains at most once per process. With a
+// Snapshots backend, each oracle's memo is pre-loaded when the oracle is
+// first registered and spilled back on Flush, so a restarted process
+// answers valuations warm from its first session.
+type Registry struct {
+	st Snapshots
+
+	mu      sync.Mutex
+	oracles map[string]*GainOracle
+	// restored counts memo entries adopted from disk across all oracles.
+	restored int
+}
+
+// NewRegistry builds a registry over the given snapshot backend (nil for
+// memory-only sharing).
+func NewRegistry(st Snapshots) *Registry {
+	return &Registry{st: st, oracles: make(map[string]*GainOracle)}
+}
+
+// memoName maps an oracle key to its snapshot name: keys are free-form, so
+// they are digested into a fixed filename-safe form.
+func memoName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return "oracle/" + hex.EncodeToString(sum[:12])
+}
+
+// Oracle returns the registry's oracle for key, building it with build on
+// first use. The first registration also pre-loads the oracle's persisted
+// memo, if any — a corrupt, missing, or mismatched snapshot simply loads
+// nothing (cold start). The boolean reports whether an existing oracle was
+// shared (true) or build ran (false).
+func (r *Registry) Oracle(key string, build func() *GainOracle) (*GainOracle, bool) {
+	r.mu.Lock()
+	if o, ok := r.oracles[key]; ok {
+		r.mu.Unlock()
+		return o, true
+	}
+	r.mu.Unlock()
+
+	// Build outside the lock: oracle construction can be expensive and two
+	// engines registering different keys must not serialize. A rare
+	// same-key race builds twice and keeps the first registered.
+	o := build()
+	n := 0
+	if r.st != nil {
+		if payload, _, err := r.st.Load(memoName(key), memoSchemaVersion); err == nil {
+			var f memoFile
+			if gob.NewDecoder(bytes.NewReader(payload)).Decode(&f) == nil && f.Key == key {
+				n = o.ImportMemo(f.Memo)
+			}
+		}
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prior, ok := r.oracles[key]; ok {
+		return prior, true
+	}
+	r.oracles[key] = o
+	r.restored += n
+	return o, false
+}
+
+// Flush spills every registered oracle's memo to the snapshot backend.
+// Memory-only registries flush trivially. The first error is returned after
+// attempting every oracle.
+func (r *Registry) Flush() error {
+	if r.st == nil {
+		return nil
+	}
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.oracles))
+	oracles := make([]*GainOracle, 0, len(r.oracles))
+	for k, o := range r.oracles {
+		keys = append(keys, k)
+		oracles = append(oracles, o)
+	}
+	r.mu.Unlock()
+
+	var first error
+	for i, o := range oracles {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(memoFile{Key: keys[i], Memo: o.ExportMemo()}); err != nil {
+			if first == nil {
+				first = fmt.Errorf("vfl: flush oracle memo: %w", err)
+			}
+			continue
+		}
+		if err := r.st.Save(memoName(keys[i]), memoSchemaVersion, buf.Bytes()); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Restored reports how many memo entries the registry's oracles adopted
+// from disk — the valuations a restarted server answers without retraining.
+func (r *Registry) Restored() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.restored
+}
+
+// Len reports how many oracles are registered.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.oracles)
+}

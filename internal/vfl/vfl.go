@@ -282,6 +282,10 @@ type GainOracle struct {
 	trainings int
 	hits      int
 	coalesced int
+	// restored counts memo entries adopted from a persisted snapshot
+	// (ImportMemo) — valuations this process answers warm without ever
+	// having trained them.
+	restored int
 }
 
 // OracleStats is a point-in-time snapshot of a GainOracle's load counters.
@@ -296,6 +300,9 @@ type OracleStats struct {
 	// of the same bundle (or the baseline) instead of starting their own —
 	// the work the singleflight de-duplicated under concurrency.
 	Coalesced int
+	// Restored counts memo entries adopted from a persisted snapshot at
+	// boot — valuations answered warm without this process training them.
+	Restored int
 }
 
 // NewGainOracle builds an oracle over a problem and training config.
@@ -543,5 +550,51 @@ func (o *GainOracle) Stats() OracleStats {
 		CachedGains: len(o.cache),
 		Hits:        o.hits,
 		Coalesced:   o.coalesced,
+		Restored:    o.restored,
 	}
+}
+
+// MemoSnapshot is the oracle's persistable valuation memo: the baseline and
+// every cached bundle gain, keyed by bundlekey. It is what the durable
+// store spills on flush and pre-loads at boot.
+type MemoSnapshot struct {
+	Baseline    float64
+	HasBaseline bool
+	Gains       map[string]float64
+}
+
+// ExportMemo snapshots the memo for persistence. The returned map is a
+// copy; in-flight trainings are not waited for (they will be in the next
+// flush).
+func (o *GainOracle) ExportMemo() MemoSnapshot {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	gains := make(map[string]float64, len(o.cache))
+	for k, v := range o.cache {
+		gains[k] = v
+	}
+	return MemoSnapshot{Baseline: o.baseline, HasBaseline: o.hasBase, Gains: gains}
+}
+
+// ImportMemo adopts a persisted memo, returning how many entries were
+// restored. Entries this oracle already holds (trained or imported earlier)
+// are kept, not overwritten — a live valuation always beats a stale disk
+// one. Safe to call at any time, though it is meant for boot, before the
+// first valuation.
+func (o *GainOracle) ImportMemo(m MemoSnapshot) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n := 0
+	if m.HasBaseline && !o.hasBase {
+		o.baseline, o.hasBase = m.Baseline, true
+		n++
+	}
+	for k, v := range m.Gains {
+		if _, ok := o.cache[k]; !ok {
+			o.cache[k] = v
+			n++
+		}
+	}
+	o.restored += n
+	return n
 }

@@ -34,6 +34,12 @@ type TaskClient struct {
 	// sessions against one server share a pool across their TaskClients
 	// (see vflmarket.Client). The pool's key must match the server's.
 	Noise *secure.NoiseSource
+	// Checkpoint, when non-nil, receives the task party's frozen session
+	// state after every mutually settled non-terminal round of an imperfect
+	// session — the client half of v4 resume. Feed the last one received to
+	// ResumeImperfectCodec on a fresh connection to continue after a broken
+	// one.
+	Checkpoint func(*core.ImperfectCheckpoint)
 }
 
 // Bargain runs one full legacy (v1) session over the connection and
@@ -92,7 +98,39 @@ func (t *TaskClient) BargainImperfectCodec(ctx context.Context, c Codec, hello *
 		ackMSE: true,
 	}
 	sess := core.NewSession(nil, t.Session).Observe(t.Observers...)
+	if t.Checkpoint != nil {
+		sess.OnCheckpoint(t.Checkpoint)
+	}
 	return sess.RunImperfectWith(ctx, params, seller, t.Gains)
+}
+
+// ResumeImperfectCodec continues a checkpointed imperfect session over a
+// fresh connection whose handshake asked for the resume (ImperfectHello
+// with the same ClientID and ResumeRound = ck.Round): the server restores
+// its own checkpoint and both parties pick up from round ck.Round+1,
+// bit-identically to the uninterrupted run. The server's Hello must confirm
+// the granted resume, or the streams would silently diverge.
+func (t *TaskClient) ResumeImperfectCodec(ctx context.Context, c Codec, hello *Hello, params core.ImperfectParams, ck *core.ImperfectCheckpoint) (*core.ImperfectResult, error) {
+	if hello.Secure {
+		return nil, fmt.Errorf("wire: the imperfect regime needs cleartext settlement; the server settles under Paillier")
+	}
+	if ck == nil {
+		return nil, fmt.Errorf("wire: resume needs a checkpoint")
+	}
+	if hello.Resumed != ck.Round {
+		return nil, fmt.Errorf("wire: server confirmed resume through round %d, checkpoint is at round %d", hello.Resumed, ck.Round)
+	}
+	seller := &remoteSeller{
+		l:      link{c},
+		u:      t.Session.U,
+		target: t.Session.TargetGain,
+		ackMSE: true,
+	}
+	sess := core.NewSession(nil, t.Session).Observe(t.Observers...)
+	if t.Checkpoint != nil {
+		sess.OnCheckpoint(t.Checkpoint)
+	}
+	return sess.ResumeImperfectWith(ctx, params, ck, seller, t.Gains)
 }
 
 // remoteSeller adapts the wire protocol's data party to core.Seller: each

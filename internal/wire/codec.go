@@ -24,6 +24,16 @@ const (
 // violation.
 var ErrPeerTimeout = errors.New("wire: peer timed out")
 
+// ErrRejected marks a session the peer refused with an error envelope
+// (unknown market, invalid parameters, no resumable checkpoint). Retrying
+// the same session will fail the same way.
+var ErrRejected = errors.New("wire: peer rejected the session")
+
+// ErrServerBusy marks a connection the server refused with a KindBusy
+// envelope: its session pool is saturated. Unlike ErrRejected, retrying
+// after a backoff is reasonable.
+var ErrServerBusy = errors.New("wire: server busy")
+
 // Codec frames protocol envelopes on a connection. Implementations are not
 // safe for concurrent use; the protocol is strictly half-duplex per
 // session.
@@ -114,12 +124,15 @@ func (l link) recvAny(wants ...Kind) (*Envelope, error) {
 	if err != nil {
 		return nil, classify(fmt.Errorf("wire: recv: %w", err))
 	}
-	if e.Kind == KindError {
+	if e.Kind == KindError || e.Kind == KindBusy {
 		msg := "unspecified"
 		if e.Err != nil {
 			msg = e.Err.Msg
 		}
-		return nil, fmt.Errorf("wire: peer rejected the session: %s", msg)
+		if e.Kind == KindBusy {
+			return nil, fmt.Errorf("%w: %s", ErrServerBusy, msg)
+		}
+		return nil, fmt.Errorf("%w: %s", ErrRejected, msg)
 	}
 	for _, w := range wants {
 		if e.Kind == w {
@@ -197,10 +210,12 @@ func WithIOTimeout(conn net.Conn, d time.Duration) net.Conn {
 	return deadlineConn{Conn: conn, d: d}
 }
 
-// handshakeMagic opens every v3 connection, followed by the codec name and
-// a newline. Servers also accept the v2 spelling from older clients.
+// handshakeMagic opens every v4 connection, followed by the codec name and
+// a newline. Servers also accept the v3 and v2 spellings from older
+// clients.
 const (
-	handshakeMagic   = "VFLM/3"
+	handshakeMagic   = "VFLM/4"
+	handshakeMagicV3 = "VFLM/3"
 	handshakeMagicV2 = "VFLM/2"
 )
 
@@ -208,7 +223,7 @@ const (
 // fast.
 const maxHandshakeLen = 64
 
-// WriteHandshake sends the v3 preamble naming the codec the client will
+// WriteHandshake sends the v4 preamble naming the codec the client will
 // speak.
 func WriteHandshake(w io.Writer, codecName string) error {
 	if _, err := fmt.Fprintf(w, "%s %s\n", handshakeMagic, codecName); err != nil {
@@ -225,7 +240,8 @@ func ReadHandshake(br *bufio.Reader) (codecName string, err error) {
 		return "", classify(fmt.Errorf("wire: handshake: %w", err))
 	}
 	fields := strings.Fields(line)
-	if len(fields) != 2 || (fields[0] != handshakeMagic && fields[0] != handshakeMagicV2) {
+	if len(fields) != 2 ||
+		(fields[0] != handshakeMagic && fields[0] != handshakeMagicV3 && fields[0] != handshakeMagicV2) {
 		return "", fmt.Errorf("wire: handshake: bad preamble %q", line)
 	}
 	return fields[1], nil
@@ -294,4 +310,12 @@ func ClientHandshake(conn net.Conn, codecName string, ch ClientHello) (Codec, *H
 // connection afterwards).
 func SendError(c Codec, format string, args ...any) {
 	_ = c.Send(&Envelope{Kind: KindError, Err: &ErrorMsg{Msg: fmt.Sprintf(format, args...)}})
+}
+
+// SendBusy sends the v4 admission-control rejection: the server's session
+// pool is saturated and the connection closes without a session. Clients
+// see ErrServerBusy and may retry with backoff. Best effort, like
+// SendError.
+func SendBusy(c Codec, format string, args ...any) {
+	_ = c.Send(&Envelope{Kind: KindBusy, Err: &ErrorMsg{Msg: fmt.Sprintf(format, args...)}})
 }

@@ -48,8 +48,10 @@ import (
 )
 
 // ProtocolVersion is the current wire protocol version, carried in
-// ClientHello and echoed in Hello.
-const ProtocolVersion = 3
+// ClientHello and echoed in Hello. v4 adds session resume (client identity
+// and resume round in ImperfectHello, Resumed in Hello) and the KindBusy
+// admission-control envelope; v3 and v2 clients are still accepted.
+const ProtocolVersion = 4
 
 // Information regimes named in the handshake.
 const (
@@ -74,6 +76,10 @@ const (
 	KindClientHello
 	KindError
 	KindAck
+	// KindBusy is the v4 admission-control rejection: the server's session
+	// pool is saturated and the connection is refused rather than queued.
+	// Clients surface it as ErrServerBusy and may retry with backoff.
+	KindBusy
 )
 
 // String implements fmt.Stringer.
@@ -93,6 +99,8 @@ func (k Kind) String() string {
 		return "error"
 	case KindAck:
 		return "ack"
+	case KindBusy:
+		return "busy"
 	default:
 		return "kind(" + strconv.Itoa(int(k)) + ")"
 	}
@@ -142,6 +150,15 @@ type ImperfectHello struct {
 	// ReplaySteps is the per-round experience-replay budget; <= 0 means
 	// the core default.
 	ReplaySteps int
+	// ClientID (v4) is a client-chosen stable identity — filename-safe,
+	// [A-Za-z0-9_-], at most 64 bytes — under which the server checkpoints
+	// this session's estimator state. "" disables checkpointing.
+	ClientID string
+	// ResumeRound (v4) asks the server to resume this identity's
+	// checkpointed session from after round ResumeRound instead of starting
+	// fresh. 0 starts fresh; > 0 requires ClientID. The server refuses
+	// (error envelope) when it has no matching checkpoint.
+	ResumeRound int
 }
 
 // Hello announces a session: the data party publishes its listing and, when
@@ -160,6 +177,10 @@ type Hello struct {
 	Bundles []BundleInfo
 	Secure  bool
 	PubN    []byte // Paillier modulus when Secure
+	// Resumed (v4) confirms a granted resume: the round the server's
+	// restored state is settled through (echoing ImperfectHello.ResumeRound).
+	// 0 on fresh sessions.
+	Resumed int
 }
 
 // Quote is the task party's round offer. U is the task party's utility

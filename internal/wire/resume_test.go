@@ -1,0 +1,362 @@
+package wire
+
+// Tests of v4 session durability: a connection that dies mid-imperfect-
+// session resumes bit-identically from both parties' checkpoints — whether
+// the crash left the two sides in lockstep or the server one settled round
+// ahead — and Paillier key rotation drains sessions opened under the
+// previous key while new sessions settle under the fresh one.
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"errors"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/secure"
+)
+
+// memCheckpoints is an in-memory SellerCheckpoints registry; onSave, when
+// non-nil, observes every save synchronously (the replay-branch test uses
+// it to cut the connection between the server's save and its ack).
+type memCheckpoints struct {
+	mu     sync.Mutex
+	m      map[string]*core.SellerCheckpoint
+	onSave func(ck *core.SellerCheckpoint)
+}
+
+func newMemCheckpoints() *memCheckpoints {
+	return &memCheckpoints{m: make(map[string]*core.SellerCheckpoint)}
+}
+
+func (r *memCheckpoints) Save(id string, ck *core.SellerCheckpoint) {
+	r.mu.Lock()
+	r.m[id] = ck
+	r.mu.Unlock()
+	if r.onSave != nil {
+		r.onSave(ck)
+	}
+}
+
+func (r *memCheckpoints) Load(id string) (*core.SellerCheckpoint, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ck, ok := r.m[id]
+	return ck, ok
+}
+
+// resumeHarness runs one imperfect wire session that dies mid-flight and is
+// then resumed over a fresh connection against the same server state. The
+// cut is installed by the caller: clientCut fires on every client
+// checkpoint, serverCut on every server checkpoint save; either closes the
+// live connection to simulate the crash.
+// The harness first computes the uninterrupted reference and stores its
+// midpoint round in *cut, which the caller's closures read to decide when
+// to kill the connection.
+func resumeHarness(t *testing.T, seed uint64, reg *memCheckpoints, cut *int,
+	clientCut func(conn net.Conn, ck *core.ImperfectCheckpoint)) (*core.ImperfectResult, *core.ImperfectResult) {
+	t.Helper()
+	cat, cfg, gains, params := imperfectMarket(t, seed)
+	want, err := core.RunImperfect(cat, cfg, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rounds) < 4 {
+		t.Fatalf("reference session too short to interrupt: %d rounds", len(want.Rounds))
+	}
+	*cut = want.Rounds[len(want.Rounds)/2].Round
+
+	srv, err := NewDataServer(cat, cfg.EpsData, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.EpsImperfect = cfg.EpsData
+	srv.Checkpoints = reg
+	ih := &ImperfectHello{
+		Seed: cfg.Seed, Target: cfg.TargetGain,
+		ExplorationRounds: params.ExplorationRounds, ReplaySteps: params.ReplaySteps,
+		ClientID: "buyer-1",
+	}
+
+	// First connection: dies at the installed cut.
+	clientConn, serverConn := net.Pipe()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer serverConn.Close()
+		c, _ := NewCodec(CodecGob, serverConn, serverConn)
+		_, _ = srv.ServeImperfectCodec(c, mustHello(t, srv), ih) // dies with the cut
+	}()
+	var last *core.ImperfectCheckpoint
+	client := &TaskClient{Session: cfg, Gains: gains, Checkpoint: func(ck *core.ImperfectCheckpoint) {
+		last = ck
+		if clientCut != nil {
+			clientCut(clientConn, ck)
+		}
+	}}
+	c, _ := NewCodec(CodecGob, clientConn, clientConn)
+	he, err := link{c}.recv(KindHello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.BargainImperfectCodec(nil, c, he.Hello, params); err == nil {
+		t.Fatal("interrupted session finished cleanly; the cut never fired")
+	}
+	clientConn.Close()
+	wg.Wait()
+	if last == nil {
+		t.Fatal("no client checkpoint captured before the cut")
+	}
+
+	// Second connection: resume from the last checkpoint the client holds.
+	ih2 := *ih
+	ih2.ResumeRound = last.Round
+	clientConn2, serverConn2 := net.Pipe()
+	var (
+		srvErr error
+		wg2    sync.WaitGroup
+	)
+	wg2.Add(1)
+	go func() {
+		defer wg2.Done()
+		defer serverConn2.Close()
+		c2, _ := NewCodec(CodecGob, serverConn2, serverConn2)
+		_, srvErr = srv.ServeImperfectCodec(c2, mustHello(t, srv), &ih2)
+	}()
+	c2, _ := NewCodec(CodecGob, clientConn2, clientConn2)
+	he2, err := link{c2}.recv(KindHello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if he2.Hello.Resumed != last.Round {
+		t.Fatalf("server confirmed resume through round %d, want %d", he2.Hello.Resumed, last.Round)
+	}
+	got, err := client.ResumeImperfectCodec(nil, c2, he2.Hello, params, last)
+	clientConn2.Close()
+	wg2.Wait()
+	if err != nil {
+		t.Fatalf("resumed client: %v", err)
+	}
+	if srvErr != nil {
+		t.Fatalf("resumed server: %v", srvErr)
+	}
+	return got, want
+}
+
+// The lockstep crash: the client dies right after a checkpoint lands, so
+// both parties' durable state is settled through the same round. The
+// resumed session must be bit-identical to the uninterrupted run.
+func TestWireResumeBitIdentical(t *testing.T) {
+	reg := newMemCheckpoints()
+	var cut int
+	got, want := resumeHarness(t, 83, reg, &cut, func(conn net.Conn, ck *core.ImperfectCheckpoint) {
+		if ck.Round >= cut {
+			conn.Close()
+		}
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed session diverged from uninterrupted run:\nresumed: %v rounds=%d final=%+v mse=%d/%d\nwant:    %v rounds=%d final=%+v mse=%d/%d",
+			got.Outcome, len(got.Rounds), got.Final, len(got.TaskMSE), len(got.DataMSE),
+			want.Outcome, len(want.Rounds), want.Final, len(want.TaskMSE), len(want.DataMSE))
+	}
+}
+
+// The ack-in-flight crash: the server saves its checkpoint for round R+1
+// and the connection dies before the ack reaches the client, leaving the
+// server one settled round ahead of the client's checkpoint at R. The
+// resume must replay round R+1 idempotently — stored offer, stored MSE, no
+// retraining — and still end bit-identical to the uninterrupted run.
+func TestWireResumeReplaysServerAheadRound(t *testing.T) {
+	reg := newMemCheckpoints()
+	var (
+		cut  int
+		mu   sync.Mutex
+		conn net.Conn
+	)
+	reg.onSave = func(ck *core.SellerCheckpoint) {
+		if cut > 0 && ck.Round >= cut {
+			mu.Lock()
+			if conn != nil {
+				conn.Close() // the ack for this round never arrives
+			}
+			mu.Unlock()
+		}
+	}
+	got, want := resumeHarness(t, 83, reg, &cut, func(c net.Conn, ck *core.ImperfectCheckpoint) {
+		mu.Lock()
+		conn = c
+		mu.Unlock()
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed resume diverged from uninterrupted run:\nresumed: %v rounds=%d final=%+v\nwant:    %v rounds=%d final=%+v",
+			got.Outcome, len(got.Rounds), got.Final, want.Outcome, len(want.Rounds), want.Final)
+	}
+}
+
+func TestServeImperfectRefusesBadResume(t *testing.T) {
+	cat, cfg, _, _ := imperfectMarket(t, 97)
+	srv, err := NewDataServer(cat, cfg.EpsData, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, serverConn := net.Pipe()
+	defer serverConn.Close()
+	c, _ := NewCodec(CodecGob, serverConn, serverConn)
+	base := ImperfectHello{Seed: 7, Target: cfg.TargetGain}
+
+	anon := base
+	anon.ResumeRound = 3
+	if _, err := srv.ServeImperfectCodec(c, mustHello(t, srv), &anon); err == nil {
+		t.Fatal("server accepted a resume without a client identity")
+	}
+	noStore := base
+	noStore.ClientID, noStore.ResumeRound = "b", 3
+	if _, err := srv.ServeImperfectCodec(c, mustHello(t, srv), &noStore); err == nil {
+		t.Fatal("checkpoint-less server accepted a resume")
+	}
+	srv.Checkpoints = newMemCheckpoints()
+	if _, err := srv.ServeImperfectCodec(c, mustHello(t, srv), &noStore); err == nil {
+		t.Fatal("server accepted a resume for an unknown identity")
+	}
+	srv.Checkpoints.Save("b", &core.SellerCheckpoint{Round: 9, Config: core.EstimatorSellerConfig{
+		Seed: 7, Target: cfg.TargetGain, EpsData: cfg.EpsData,
+	}})
+	if _, err := srv.ServeImperfectCodec(c, mustHello(t, srv), &noStore); err == nil {
+		t.Fatal("server resumed from a checkpoint 6 rounds ahead")
+	}
+	mismatched := base
+	mismatched.ClientID, mismatched.ResumeRound, mismatched.Seed = "b", 9, 8
+	if _, err := srv.ServeImperfectCodec(c, mustHello(t, srv), &mismatched); err == nil {
+		t.Fatal("server resumed a checkpoint under different session parameters")
+	}
+}
+
+func TestValidateClientID(t *testing.T) {
+	for _, ok := range []string{"", "buyer-1", "A_b-C9", strings.Repeat("x", 64)} {
+		if err := ValidateClientID(ok); err != nil {
+			t.Errorf("ValidateClientID(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"a/b", "..", "a.b", "a b", "é", strings.Repeat("x", 65)} {
+		if err := ValidateClientID(bad); err == nil {
+			t.Errorf("ValidateClientID(%q) accepted", bad)
+		}
+	}
+}
+
+// A KindBusy envelope surfaces as ErrServerBusy (retryable), a KindError as
+// ErrRejected (not), and both are distinguishable via errors.Is.
+func TestBusyAndRejectedSentinels(t *testing.T) {
+	var buf bytes.Buffer
+	c, _ := NewCodec(CodecGob, &buf, &buf)
+	l := link{c}
+	if err := l.send(&Envelope{Kind: KindBusy, Err: &ErrorMsg{Msg: "session pool saturated"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.recv(KindHello); !errors.Is(err, ErrServerBusy) {
+		t.Fatalf("busy envelope surfaced as %v, want ErrServerBusy", err)
+	}
+	if err := l.send(&Envelope{Kind: KindError, Err: &ErrorMsg{Msg: "unknown market"}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := l.recv(KindHello)
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("error envelope surfaced as %v, want ErrRejected", err)
+	}
+	if errors.Is(err, ErrServerBusy) {
+		t.Fatal("rejection also matched ErrServerBusy")
+	}
+	// A payloadless busy envelope is still a clean ErrServerBusy, not a
+	// framing error.
+	if err := l.send(&Envelope{Kind: KindBusy}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.recv(KindHello); !errors.Is(err, ErrServerBusy) {
+		t.Fatalf("payloadless busy envelope surfaced as %v", err)
+	}
+}
+
+// Key rotation re-announces a fresh modulus to new sessions while sessions
+// opened under the previous key settle against its retained state; a key
+// rotated twice away fails its settlements cleanly.
+func TestWireKeyRotationDrainsOldSessions(t *testing.T) {
+	cat, cfg, gains := buildMarket(t, 51)
+	keys, err := secure.NewRotatingKey(rand.Reader, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewDataServerWithKeys(cat, cfg.EpsData, keys)
+
+	helloOld := mustHello(t, srv)
+	newPubN, err := srv.RotateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	helloNew := mustHello(t, srv)
+	if bytes.Equal(helloOld.PubN, helloNew.PubN) {
+		t.Fatal("rotation did not change the announced modulus")
+	}
+	if !bytes.Equal(helloNew.PubN, newPubN) {
+		t.Fatal("hello does not announce the rotated modulus")
+	}
+
+	// run plays one full session whose server-side hello is h.
+	run := func(h *Hello) (*core.Result, *SessionSummary, error, error) {
+		clientConn, serverConn := net.Pipe()
+		var (
+			sum    *SessionSummary
+			srvErr error
+			wg     sync.WaitGroup
+		)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer serverConn.Close()
+			c, _ := NewCodec(CodecGob, serverConn, serverConn)
+			sum, srvErr = srv.ServeCodec(c, h)
+		}()
+		c, _ := NewCodec(CodecGob, clientConn, clientConn)
+		he, err := link{c}.recv(KindHello)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client := &TaskClient{Session: cfg, Gains: gains}
+		res, cliErr := client.BargainCodec(context.Background(), c, he.Hello)
+		clientConn.Close()
+		wg.Wait()
+		return res, sum, cliErr, srvErr
+	}
+
+	// A session under the drained old key still settles...
+	res, sum, cliErr, srvErr := run(helloOld)
+	if cliErr != nil || srvErr != nil {
+		t.Fatalf("old-key session failed: client=%v server=%v", cliErr, srvErr)
+	}
+	if res.Outcome != core.Success || !sum.Closed {
+		t.Fatalf("old-key session did not close: %v / %+v", res.Outcome, sum)
+	}
+	// ...and so does one under the fresh key.
+	res, sum, cliErr, srvErr = run(helloNew)
+	if cliErr != nil || srvErr != nil {
+		t.Fatalf("new-key session failed: client=%v server=%v", cliErr, srvErr)
+	}
+	if res.Outcome != core.Success || !sum.Closed {
+		t.Fatalf("new-key session did not close: %v / %+v", res.Outcome, sum)
+	}
+
+	// A second rotation strands the first key: its settlements now fail
+	// cleanly instead of decrypting garbage.
+	if _, err := srv.RotateKey(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, srvErr = run(helloOld)
+	if srvErr == nil || !strings.Contains(srvErr.Error(), "rotated away") {
+		t.Fatalf("twice-rotated key settled: %v", srvErr)
+	}
+}

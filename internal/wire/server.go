@@ -64,24 +64,46 @@ type DataServer struct {
 	// that is the point). Sessions served concurrently share the hook, so
 	// it must be safe for concurrent use.
 	OnRound func(rec core.RoundRecord)
+	// Checkpoints, when non-nil, makes imperfect sessions durable: after
+	// every settled round the seller's frozen state is saved under the
+	// client identity of the v4 hello, and a ResumeRound hello restores it
+	// instead of starting fresh. Sessions share the registry, so it must be
+	// safe for concurrent use. vflmarket.Server backs it with the snapshot
+	// store.
+	Checkpoints SellerCheckpoints
 
 	keys secure.KeyProvider
 
-	// noise is the server-side randomizer pool, built lazily once the key
-	// lands: settled ciphertexts are blinded with pooled factors before
-	// CRT decryption (side-channel hardening at mulmod cost). noiseMu
-	// orders the lazy build against Close — a pool first needed after
-	// Close is built workerless so nothing leaks.
-	noiseMu     sync.Mutex
-	noiseClosed bool
-	noise       *secure.NoiseSource
-
-	recvOnce sync.Once
-	recv     *secure.DataReceiver
-	recvErr  error
+	// secCur/secOld are the decryption machinery of the current and the
+	// previous key generation: settled ciphertexts are blinded with pooled
+	// factors before CRT decryption (side-channel hardening at mulmod
+	// cost), and a session resolves the state whose modulus it captured at
+	// hello time — which is how RotateKey drains in-flight sessions
+	// gracefully. secMu orders the lazy build and rotation against Close —
+	// a pool first needed after Close is built workerless so nothing leaks.
+	secMu     sync.Mutex
+	secClosed bool
+	secCur    *secureState
+	secErr    error
+	secOld    *secureState
 
 	listingOnce sync.Once
 	listing     []BundleInfo
+}
+
+// SellerCheckpoints is the durable registry imperfect sessions checkpoint
+// into, keyed by the client identity of the v4 hello. Implementations must
+// be safe for concurrent use; Save takes ownership of the checkpoint.
+type SellerCheckpoints interface {
+	Save(clientID string, ck *core.SellerCheckpoint)
+	Load(clientID string) (*core.SellerCheckpoint, bool)
+}
+
+// secureState is one key generation's settlement machinery: the CRT
+// decryptor and its blinding pool.
+type secureState struct {
+	recv  *secure.DataReceiver
+	noise *secure.NoiseSource
 }
 
 // Default server-side caps on the client-supplied work factors of the
@@ -122,6 +144,36 @@ func (s *DataServer) ValidateImperfectHello(ih *ImperfectHello) error {
 	if eff.ReplaySteps > maxReplay {
 		return fmt.Errorf("wire: refused: %d replay steps per round exceed this server's cap of %d", eff.ReplaySteps, maxReplay)
 	}
+	if err := ValidateClientID(ih.ClientID); err != nil {
+		return err
+	}
+	if ih.ResumeRound < 0 {
+		return fmt.Errorf("wire: negative resume round %d", ih.ResumeRound)
+	}
+	if ih.ResumeRound > 0 && ih.ClientID == "" {
+		return fmt.Errorf("wire: resuming a session requires a client identity")
+	}
+	return nil
+}
+
+// ValidateClientID checks a v4 client identity: empty (checkpointing off)
+// or 1–64 bytes of [A-Za-z0-9_-]. The charset is filename-safe by
+// construction — no dots, no separators — so an identity can never escape
+// the server's checkpoint namespace.
+func ValidateClientID(id string) error {
+	if id == "" {
+		return nil
+	}
+	if len(id) > 64 {
+		return fmt.Errorf("wire: client identity exceeds 64 bytes")
+	}
+	for i := 0; i < len(id); i++ {
+		switch c := id[i]; {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return fmt.Errorf("wire: client identity contains %q; allowed are [A-Za-z0-9_-]", id[i])
+		}
+	}
 	return nil
 }
 
@@ -157,30 +209,103 @@ func (s *DataServer) key() (*secure.PrivateKey, error) {
 	return s.keys.Key()
 }
 
-// receiver resolves the settlement decryptor and blinding pool once.
-func (s *DataServer) receiver() (*secure.DataReceiver, *secure.NoiseSource, error) {
-	s.recvOnce.Do(func() {
-		sk, err := s.key()
-		if err != nil {
-			s.recvErr = err
-			return
-		}
-		s.recv = secure.NewDataReceiver(sk)
-	})
-	if s.recvErr != nil {
-		return nil, nil, s.recvErr
+// newSecureStateLocked builds one key generation's settlement machinery;
+// callers hold secMu (the pool is built workerless after Close so nothing
+// leaks).
+func (s *DataServer) newSecureStateLocked(sk *secure.PrivateKey) *secureState {
+	workers := 0
+	if s.secClosed {
+		workers = -1 // post-Close: a drawable-but-never-refilled shell
 	}
-	s.noiseMu.Lock()
-	if s.noise == nil {
-		workers := 0
-		if s.noiseClosed {
-			workers = -1 // post-Close: a drawable-but-never-refilled shell
-		}
-		s.noise = secure.NewNoiseSource(s.recv.PublicKey(), s.NoisePool, workers, rand.Reader)
+	recv := secure.NewDataReceiver(sk)
+	return &secureState{
+		recv:  recv,
+		noise: secure.NewNoiseSource(recv.PublicKey(), s.NoisePool, workers, rand.Reader),
 	}
-	ns := s.noise
-	s.noiseMu.Unlock()
-	return s.recv, ns, nil
+}
+
+// current resolves the current key generation's settlement state, building
+// it lazily once the key lands.
+func (s *DataServer) current() (*secureState, error) {
+	s.secMu.Lock()
+	if s.secCur != nil || s.secErr != nil {
+		cur, err := s.secCur, s.secErr
+		s.secMu.Unlock()
+		return cur, err
+	}
+	s.secMu.Unlock()
+	sk, err := s.key() // may block on generation; never under secMu
+	s.secMu.Lock()
+	defer s.secMu.Unlock()
+	if s.secCur != nil || s.secErr != nil { // raced build
+		return s.secCur, s.secErr
+	}
+	if err != nil {
+		s.secErr = err
+		return nil, err
+	}
+	s.secCur = s.newSecureStateLocked(sk)
+	return s.secCur, nil
+}
+
+// secureFor resolves the settlement state whose modulus the session
+// captured at hello time: the current generation, or — after a RotateKey —
+// the one retained previous generation. A modulus rotated further away
+// fails the session; the client must reconnect under the announced key.
+func (s *DataServer) secureFor(pubN []byte) (*secureState, error) {
+	cur, err := s.current()
+	if err != nil {
+		return nil, err
+	}
+	if len(pubN) == 0 {
+		return cur, nil // legacy v1 path: hello and settlement share a key
+	}
+	want := new(big.Int).SetBytes(pubN)
+	if cur.recv.PublicKey().N.Cmp(want) == 0 {
+		return cur, nil
+	}
+	s.secMu.Lock()
+	old := s.secOld
+	s.secMu.Unlock()
+	if old != nil && old.recv.PublicKey().N.Cmp(want) == 0 {
+		return old, nil
+	}
+	return nil, fmt.Errorf("wire: session key rotated away; reconnect under the current key")
+}
+
+// RotateKey rotates the server's Paillier key pair: the provider generates
+// and persists a fresh pair (it must support rotation — secure.RotatingKey
+// and PersistedKey do), new sessions are announced the fresh modulus in
+// their Hello, and sessions opened under the previous key drain against its
+// retained state. One prior generation is kept: rotating twice strands
+// sessions of the first key, which then fail their settlements cleanly.
+func (s *DataServer) RotateKey() (pubN []byte, err error) {
+	if !s.Secure {
+		return nil, fmt.Errorf("wire: cannot rotate keys on a cleartext server")
+	}
+	rot, ok := s.keys.(interface{ Rotate() (*secure.PrivateKey, error) })
+	if !ok {
+		return nil, fmt.Errorf("wire: key provider %T does not support rotation", s.keys)
+	}
+	// Materialize the current generation first so draining sessions find it
+	// in the old slot.
+	cur, err := s.current()
+	if err != nil {
+		return nil, err
+	}
+	sk, err := rot.Rotate()
+	if err != nil {
+		return nil, err
+	}
+	s.secMu.Lock()
+	evicted := s.secOld
+	s.secOld = cur
+	s.secCur = s.newSecureStateLocked(sk)
+	s.secMu.Unlock()
+	if evicted != nil {
+		evicted.noise.Close()
+	}
+	return sk.N.Bytes(), nil
 }
 
 // PrimeNoise resolves the key (blocking on an asynchronous generation) and
@@ -190,22 +315,26 @@ func (s *DataServer) PrimeNoise(ctx context.Context) error {
 	if !s.Secure {
 		return nil
 	}
-	_, noise, err := s.receiver()
+	sec, err := s.current()
 	if err != nil {
 		return err
 	}
-	return noise.Prime(ctx)
+	return sec.noise.Prime(ctx)
 }
 
-// Close releases the server's background resources (the blinding pool's
-// workers). Serving after Close still works: pool draws fall back inline.
+// Close releases the server's background resources (the blinding pools'
+// workers, across key generations). Serving after Close still works: pool
+// draws fall back inline.
 func (s *DataServer) Close() {
-	s.noiseMu.Lock()
-	s.noiseClosed = true
-	ns := s.noise
-	s.noiseMu.Unlock()
-	if ns != nil {
-		ns.Close()
+	s.secMu.Lock()
+	s.secClosed = true
+	cur, old := s.secCur, s.secOld
+	s.secMu.Unlock()
+	if cur != nil {
+		cur.noise.Close()
+	}
+	if old != nil {
+		old.noise.Close()
 	}
 }
 
@@ -262,7 +391,7 @@ func (s *DataServer) ServeConn(conn net.Conn) (*SessionSummary, error) {
 // ServeConn and the multi-market Server frontend (which performs the
 // handshake first).
 func (s *DataServer) ServeCodec(c Codec, hello *Hello) (*SessionSummary, error) {
-	return s.serve(link{c}, hello, catalogAnswerer{s})
+	return s.serve(link{c}, hello, catalogAnswerer{s}, 1)
 }
 
 // ServeImperfectCodec runs one imperfect-information session over an
@@ -284,11 +413,51 @@ func (s *DataServer) ServeImperfectCodec(c Codec, hello *Hello, ih *ImperfectHel
 	if !(ih.Target > 0) || math.IsInf(ih.Target, 0) {
 		return nil, fmt.Errorf("wire: imperfect session needs a positive finite target gain, got %v", ih.Target)
 	}
+	cfg := s.sellerConfigFor(ih)
+
+	a := &estimatorAnswerer{}
+	start := 1
+	if ih.ResumeRound > 0 {
+		ck, err := s.resumeCheckpoint(ih, cfg)
+		if err != nil {
+			return nil, err
+		}
+		seller, err := core.RestoreEstimatorSeller(s.Catalog, ck)
+		if err != nil {
+			return nil, fmt.Errorf("wire: restore checkpoint for identity %q: %v", ih.ClientID, err)
+		}
+		a.seller = seller
+		if ck.Round == ih.ResumeRound+1 {
+			// The settle landed but its ack never reached the client: replay
+			// round ck.Round's offer and pre-update MSE verbatim — no
+			// training, no rng draws — so the retransmitted settlement is
+			// absorbed idempotently.
+			a.replayRound = ck.Round
+			a.replayOffer = ck.LastOffer
+			a.replayMSE = ck.LastMSE
+		}
+		start = ih.ResumeRound + 1
+		resumed := *hello
+		resumed.Resumed = ih.ResumeRound
+		hello = &resumed
+	} else {
+		a.seller = core.NewEstimatorSeller(s.Catalog, cfg)
+	}
+	if ih.ClientID != "" && s.Checkpoints != nil {
+		id := ih.ClientID
+		a.save = func(ck *core.SellerCheckpoint) { s.Checkpoints.Save(id, ck) }
+	}
+	return s.serve(link{c}, hello, a, start)
+}
+
+// sellerConfigFor derives the estimator-seller configuration a hello pins:
+// the checkpoint identity a resume must match.
+func (s *DataServer) sellerConfigFor(ih *ImperfectHello) core.EstimatorSellerConfig {
 	eps := s.EpsImperfect
 	if eps == 0 {
 		eps = s.EpsData
 	}
-	seller := core.NewEstimatorSeller(s.Catalog, core.EstimatorSellerConfig{
+	return core.EstimatorSellerConfig{
 		Seed:    ih.Seed,
 		Target:  ih.Target,
 		EpsData: eps,
@@ -296,8 +465,41 @@ func (s *DataServer) ServeImperfectCodec(c Codec, hello *Hello, ih *ImperfectHel
 			ExplorationRounds: ih.ExplorationRounds,
 			ReplaySteps:       ih.ReplaySteps,
 		},
-	})
-	return s.serve(link{c}, hello, &estimatorAnswerer{seller: seller})
+	}
+}
+
+// resumeCheckpoint loads and validates the checkpoint a resume hello names.
+// The server checkpoints after its settlement, the client after the ack
+// lands, so a crash between the two leaves the server exactly one round
+// ahead: R and R+1 are the only resumable offsets.
+func (s *DataServer) resumeCheckpoint(ih *ImperfectHello, cfg core.EstimatorSellerConfig) (*core.SellerCheckpoint, error) {
+	if s.Checkpoints == nil {
+		return nil, fmt.Errorf("wire: this server does not checkpoint sessions; cannot resume")
+	}
+	ck, ok := s.Checkpoints.Load(ih.ClientID)
+	if !ok {
+		return nil, fmt.Errorf("wire: no checkpoint for identity %q; start fresh", ih.ClientID)
+	}
+	if !ck.Matches(cfg) {
+		return nil, fmt.Errorf("wire: checkpoint for identity %q was taken under different session parameters; start fresh", ih.ClientID)
+	}
+	if ck.Round != ih.ResumeRound && ck.Round != ih.ResumeRound+1 {
+		return nil, fmt.Errorf("wire: checkpoint for identity %q is settled through round %d; cannot resume after round %d", ih.ClientID, ck.Round, ih.ResumeRound)
+	}
+	return ck, nil
+}
+
+// CheckResume reports whether the resume a hello asks for can be granted,
+// without building any session state — what handshake frontends run so a
+// doomed resume is refused with an error envelope in place of the Hello
+// instead of a dropped connection. A hello that does not ask for a resume
+// passes trivially.
+func (s *DataServer) CheckResume(ih *ImperfectHello) error {
+	if ih == nil || ih.ResumeRound <= 0 {
+		return nil
+	}
+	_, err := s.resumeCheckpoint(ih, s.sellerConfigFor(ih))
+	return err
 }
 
 // answerer is the data party's per-session quoting brain: the stateless
@@ -328,27 +530,54 @@ func (a catalogAnswerer) settled(int, core.RoundRecord, core.SettleDecision) (*A
 // settlement trains the estimator and is acknowledged with its pre-update
 // MSE. Settlement gains must be finite — a NaN or Inf would silently
 // poison the estimator, so it fails the session instead.
-type estimatorAnswerer struct{ seller *core.EstimatorSeller }
+type estimatorAnswerer struct {
+	seller *core.EstimatorSeller
+	// save, when non-nil, persists the seller's frozen state after every
+	// settled round, before the ack goes out — so the durable state is never
+	// behind what the client has been acknowledged.
+	save func(*core.SellerCheckpoint)
+	// replayRound > 0 marks a resume whose server checkpoint is one settled
+	// round ahead of the client (the ack died with the connection): that
+	// round's offer and MSE are re-answered verbatim from the checkpoint,
+	// with no training and no rng draws.
+	replayRound int
+	replayOffer core.SellerOffer
+	replayMSE   float64
+}
 
 func (a *estimatorAnswerer) answer(round int, q core.QuotedPrice, _ float64) core.SellerOffer {
+	if a.replayRound > 0 && round == a.replayRound {
+		return a.replayOffer
+	}
 	so, _ := a.seller.Offer(round, q) // the in-process seller cannot fail
 	return so
 }
 
 func (a *estimatorAnswerer) settled(round int, rec core.RoundRecord, d core.SettleDecision) (*Ack, error) {
+	if a.replayRound > 0 && round == a.replayRound {
+		// Already absorbed before the crash: acknowledge idempotently.
+		return &Ack{Round: round, DataMSE: a.replayMSE}, nil
+	}
 	if math.IsNaN(rec.Gain) || math.IsInf(rec.Gain, 0) {
 		return nil, fmt.Errorf("wire: round %d settled with non-finite realized gain %v", round, rec.Gain)
 	}
 	if err := a.seller.Settle(round, rec, d); err != nil {
 		return nil, err
 	}
+	if a.save != nil {
+		if ck, err := a.seller.Snapshot(); err == nil {
+			a.save(ck)
+		}
+	}
 	return &Ack{Round: round, DataMSE: a.seller.LastMSE()}, nil
 }
 
 // serve runs one bargaining session over an established link with the
 // given answerer — the single server-side loop both information regimes
-// share.
-func (s *DataServer) serve(l link, hello *Hello, a answerer) (*SessionSummary, error) {
+// share. start is the first round number served: 1 on fresh sessions, the
+// resumed round on v4 resumes (where the very first exchange may already be
+// a walk-away Settle).
+func (s *DataServer) serve(l link, hello *Hello, a answerer, start int) (*SessionSummary, error) {
 	if err := l.send(&Envelope{Kind: KindHello, Hello: hello}); err != nil {
 		return nil, err
 	}
@@ -363,11 +592,13 @@ func (s *DataServer) serve(l link, hello *Hello, a answerer) (*SessionSummary, e
 	// closest-bundle hint is computed once and refreshed only if the
 	// announced target actually moves.
 	lastTarget, targetBundle := -1.0, -1
-	for quotes := 1; ; quotes++ {
-		// The session must open with a quote; from the second exchange on,
-		// a Settle in place of a Quote is a legal walk-away notice.
+	for quotes := start; ; quotes++ {
+		// A fresh session must open with a quote; from the second exchange
+		// on — and from the first on a resume, whose buyer may have nothing
+		// left to ask — a Settle in place of a Quote is a legal walk-away
+		// notice.
 		wants := []Kind{KindQuote}
-		if quotes > 1 {
+		if quotes > 1 || start > 1 {
 			wants = append(wants, KindSettle)
 		}
 		e, err := l.recvAny(wants...)
@@ -424,7 +655,7 @@ func (s *DataServer) serve(l link, hello *Hello, a answerer) (*SessionSummary, e
 		if err != nil {
 			return sum, err
 		}
-		pay, err := s.settledPayment(q, se.Settle)
+		pay, err := s.settledPayment(hello, q, se.Settle)
 		if err != nil {
 			return sum, err
 		}
@@ -465,18 +696,19 @@ func (s *DataServer) serve(l link, hello *Hello, a answerer) (*SessionSummary, e
 // mode the ciphertext is blinded with a pooled randomizer (when one is
 // available — a mulmod, never a modexp) before the CRT decryption, so the
 // exponentiation operand is unlinked from the wire bytes; the plaintext is
-// identical either way.
-func (s *DataServer) settledPayment(q core.QuotedPrice, st *Settle) (float64, error) {
+// identical either way. The session decrypts under the key generation its
+// hello announced, so settlements survive a concurrent RotateKey.
+func (s *DataServer) settledPayment(hello *Hello, q core.QuotedPrice, st *Settle) (float64, error) {
 	if !s.Secure {
 		return q.Payment(st.Gain), nil
 	}
 	if len(st.EncPayment) == 0 {
 		return 0, fmt.Errorf("wire: secure session settled without ciphertext")
 	}
-	recv, noise, err := s.receiver()
+	sec, err := s.secureFor(hello.PubN)
 	if err != nil {
 		return 0, err
 	}
-	ct := noise.Blind(&secure.Ciphertext{C: new(big.Int).SetBytes(st.EncPayment)})
-	return recv.OpenPayment(&secure.GainReport{EncPayment: ct})
+	ct := sec.noise.Blind(&secure.Ciphertext{C: new(big.Int).SetBytes(st.EncPayment)})
+	return sec.recv.OpenPayment(&secure.GainReport{EncPayment: ct})
 }

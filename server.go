@@ -32,6 +32,16 @@ const (
 // configured IO timeout (errors.Is).
 var ErrPeerTimeout = wire.ErrPeerTimeout
 
+// ErrServerBusy marks a connection the server's admission control turned
+// away: its session pool and backlog were saturated. Retrying after a
+// backoff is reasonable (identified imperfect clients do so themselves).
+var ErrServerBusy = wire.ErrServerBusy
+
+// ErrRejected marks a session the server refused with a typed error
+// (unknown market, invalid parameters, no resumable checkpoint). Retrying
+// replays the same refusal.
+var ErrRejected = wire.ErrRejected
+
 // SessionEvent is the per-session notification delivered to the hook
 // installed with WithSessionHook.
 type SessionEvent struct {
@@ -72,6 +82,18 @@ type MarketMetrics struct {
 	// an already-running training of the same bundle — the duplicate work
 	// concurrency would otherwise have multiplied.
 	OracleCoalesced int
+	// OracleRestored counts memoized valuations preloaded from the durable
+	// store at oracle registration — answers this process never trained for.
+	// 0 without a bound state.
+	OracleRestored int
+	// ResumedSessions counts imperfect sessions this market granted a resume
+	// to: a reconnecting client presented an identity with a live
+	// checkpoint and continued mid-game instead of re-exploring.
+	ResumedSessions uint64
+	// CheckpointedClients counts the client identities whose estimator
+	// checkpoints the market currently holds in memory (restored entries
+	// included). 0 without a bound state.
+	CheckpointedClients int
 }
 
 // ServerMetrics is a point-in-time snapshot of a server's counters.
@@ -88,6 +110,10 @@ type ServerMetrics struct {
 	// Rejected counts connections turned away before bargaining: malformed
 	// handshakes, unsupported versions, unknown markets.
 	Rejected uint64
+	// Busy counts connections refused by admission control: the worker pool
+	// and its backlog were saturated when they arrived. Busy refusals are
+	// not included in Rejected — they are load, not client error.
+	Busy uint64
 	// Active is the number of sessions being served right now.
 	Active int64
 }
@@ -106,6 +132,10 @@ type serverConfig struct {
 	maxReplay      int
 	hook           func(SessionEvent)
 	roundObs       RoundObserver
+	stateDir       string
+	state          *MarketState
+	backlog        int
+	flushEvery     time.Duration
 }
 
 // WithWorkers bounds the session worker pool: at most n sessions bargain
@@ -174,6 +204,46 @@ func WithImperfectCaps(maxExploration, maxReplay int) ServerOption {
 	}
 }
 
+// WithStateDir binds the server to a durable state directory (shared
+// process-wide per directory — see SharedMarketState). Every market
+// registered afterwards persists its side of the bargain there: estimator
+// checkpoints keyed by client identity (so reconnecting imperfect buyers
+// resume instead of re-exploring), and — under WithSecureSettlement — the
+// market's Paillier key, so a restarted server re-announces the modulus its
+// clients already knew. Serve flushes the state periodically and at
+// shutdown; FlushState flushes on demand. Engines carry their own binding
+// (Config.StateDir / WithState) for the valuation memo.
+func WithStateDir(dir string) ServerOption { return func(c *serverConfig) { c.stateDir = dir } }
+
+// WithMarketState binds the server to an explicit MarketState handle,
+// taking precedence over WithStateDir. Used by tests that simulate
+// restarts with OpenMarketState.
+func WithMarketState(ms *MarketState) ServerOption { return func(c *serverConfig) { c.state = ms } }
+
+// WithBacklog sizes the accept-side session queue: connections beyond the
+// worker pool wait in a queue of n before the server starts refusing them
+// with a KindBusy envelope (ErrServerBusy on v4 clients, who may retry
+// with backoff). 0 means no queue — a connection is refused the moment
+// every worker is busy; < 0 keeps the default (128).
+func WithBacklog(n int) ServerOption {
+	return func(c *serverConfig) {
+		if n >= 0 {
+			c.backlog = n
+		}
+	}
+}
+
+// WithStateFlushInterval sets how often Serve spills dirty durable state
+// (estimator checkpoints, valuation memos) to disk. <= 0 keeps the default
+// (1 minute). Inert without a bound state.
+func WithStateFlushInterval(d time.Duration) ServerOption {
+	return func(c *serverConfig) {
+		if d > 0 {
+			c.flushEvery = d
+		}
+	}
+}
+
 // WithSessionHook installs a per-session callback, invoked once per
 // connection after it completes (or is rejected). Sessions run
 // concurrently, so the hook must be safe for concurrent use.
@@ -200,9 +270,10 @@ type Server struct {
 	mu      sync.RWMutex
 	markets map[string]*market
 	order   []string // registration order; the first market is the default
+	state   *MarketState
 
-	accepted, sessions, closed, failed, rejected atomic.Uint64
-	active                                       atomic.Int64
+	accepted, sessions, closed, failed, rejected, busy atomic.Uint64
+	active                                             atomic.Int64
 }
 
 // market is one registry entry: the wire endpoint, the engine behind it
@@ -214,19 +285,44 @@ type market struct {
 	ds        *wire.DataServer
 	engine    *Engine
 	stopPrime context.CancelFunc
+	book      *ckptBook // nil without a bound state
 
 	sessions  atomic.Uint64
 	imperfect atomic.Uint64
+	resumed   atomic.Uint64
 }
 
 // NewServer builds an empty multi-market server. Register at least one
 // market before calling Serve.
 func NewServer(opts ...ServerOption) *Server {
-	cfg := serverConfig{ioTimeout: 30 * time.Second}
+	cfg := serverConfig{ioTimeout: 30 * time.Second, backlog: 128, flushEvery: time.Minute}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	return &Server{cfg: cfg, markets: make(map[string]*market)}
+}
+
+// ensureStateLocked resolves the server's durable state on first use:
+// an explicit handle wins, otherwise the configured directory opens through
+// the process-wide cache. nil state means the server runs memory-only.
+// Callers hold s.mu.
+func (s *Server) ensureStateLocked() (*MarketState, error) {
+	if s.state != nil {
+		return s.state, nil
+	}
+	if s.cfg.state != nil {
+		s.state = s.cfg.state
+		return s.state, nil
+	}
+	if s.cfg.stateDir == "" {
+		return nil, nil
+	}
+	ms, err := SharedMarketState(s.cfg.stateDir)
+	if err != nil {
+		return nil, err
+	}
+	s.state = ms
+	return ms, nil
 }
 
 // Register adds a named market backed by the engine: its catalog is the
@@ -240,6 +336,12 @@ func (s *Server) Register(name string, e *Engine) error {
 	if e == nil {
 		return fmt.Errorf("vflmarket: market %q needs an engine", name)
 	}
+	s.mu.Lock()
+	st, serr := s.ensureStateLocked()
+	s.mu.Unlock()
+	if serr != nil {
+		return fmt.Errorf("vflmarket: market %q: %w", name, serr)
+	}
 	tmpl := e.Session()
 	var ds *wire.DataServer
 	var stopPrime context.CancelFunc
@@ -248,12 +350,18 @@ func (s *Server) Register(name string, e *Engine) error {
 		// primes in the background and the market's randomizer pool is
 		// primed as soon as the key lands (the priming is cancelled if the
 		// server shuts down first). Eager mode generates the key AND fills
-		// the pool here, so the market is fully settled-in on return.
+		// the pool here, so the market is fully settled-in on return. A
+		// state-bound market persists its key instead: a restart reloads it
+		// and re-announces the same modulus — and gains runtime rotation
+		// through RotateMarketKey.
 		var keys secure.KeyProvider
 		var err error
-		if s.cfg.eagerKeys {
+		switch {
+		case st != nil:
+			keys, err = secure.PersistedKey(st.st, "keys/"+marketSlug(name), rand.Reader, s.cfg.secureBits, s.cfg.eagerKeys)
+		case s.cfg.eagerKeys:
 			keys, err = secure.EagerKey(rand.Reader, s.cfg.secureBits)
-		} else {
+		default:
 			keys, err = secure.AsyncKey(rand.Reader, s.cfg.secureBits)
 		}
 		if err != nil {
@@ -291,6 +399,15 @@ func (s *Server) Register(name string, e *Engine) error {
 	if obs := s.cfg.roundObs; obs != nil {
 		ds.OnRound = obs.OnRound
 	}
+	var book *ckptBook
+	if st != nil {
+		// The market's estimator checkpoints live in the durable book: the
+		// wire layer saves one per settled round and resumes reconnecting
+		// identities from it — across restarts, since loads fall through to
+		// the snapshot store.
+		book = st.book(name)
+		ds.Checkpoints = book
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.markets[name]; dup {
@@ -301,9 +418,47 @@ func (s *Server) Register(name string, e *Engine) error {
 		ds.Close()
 		return fmt.Errorf("vflmarket: market %q already registered", name)
 	}
-	s.markets[name] = &market{ds: ds, engine: e, stopPrime: stopPrime}
+	s.markets[name] = &market{ds: ds, engine: e, stopPrime: stopPrime, book: book}
 	s.order = append(s.order, name)
 	return nil
+}
+
+// State returns the durable MarketState the server resolved at Register,
+// nil for a memory-only server.
+func (s *Server) State() *MarketState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.state
+}
+
+// FlushState spills the server's dirty durable state — estimator
+// checkpoints and valuation memos — to disk now. A no-op without a bound
+// state; Serve also flushes periodically and at shutdown.
+func (s *Server) FlushState() error {
+	st := s.State()
+	if st == nil {
+		return nil
+	}
+	return st.Flush()
+}
+
+// RotateMarketKey rotates the named market's Paillier key pair ("" means
+// the default market): a fresh key is generated (and persisted, for a
+// state-bound market), new sessions are announced the new modulus, and
+// sessions opened under the previous key drain against it — one prior
+// generation is retained. Returns the new public modulus. Errors if the
+// market is unknown, not secure, or its key provider cannot rotate.
+func (s *Server) RotateMarketKey(name string) ([]byte, error) {
+	s.mu.RLock()
+	if name == "" && len(s.order) > 0 {
+		name = s.order[0]
+	}
+	mkt := s.markets[name]
+	s.mu.RUnlock()
+	if mkt == nil {
+		return nil, fmt.Errorf("vflmarket: unknown market %q", name)
+	}
+	return mkt.ds.RotateKey()
 }
 
 // Markets lists the registered market names in registration order.
@@ -321,6 +476,7 @@ func (s *Server) Metrics() ServerMetrics {
 		Closed:   s.closed.Load(),
 		Failed:   s.failed.Load(),
 		Rejected: s.rejected.Load(),
+		Busy:     s.busy.Load(),
 		Active:   s.active.Load(),
 	}
 }
@@ -335,14 +491,20 @@ func (s *Server) MarketMetrics() map[string]MarketMetrics {
 	out := make(map[string]MarketMetrics, len(s.markets))
 	for name, m := range s.markets {
 		os := m.engine.OracleMetrics()
-		out[name] = MarketMetrics{
+		mm := MarketMetrics{
 			Sessions:          m.sessions.Load(),
 			ImperfectSessions: m.imperfect.Load(),
 			OracleTrainings:   os.Trainings,
 			OracleCachedGains: os.CachedGains,
 			OracleHits:        os.Hits,
 			OracleCoalesced:   os.Coalesced,
+			OracleRestored:    os.Restored,
+			ResumedSessions:   m.resumed.Load(),
 		}
+		if m.book != nil {
+			mm.CheckpointedClients = m.book.clientCount()
+		}
+		out[name] = mm
 	}
 	return out
 }
@@ -371,7 +533,35 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	defer stop()
 	defer ln.Close()
 
-	conns := make(chan net.Conn)
+	// A state-bound server spills dirty checkpoints and memos on a timer
+	// while serving, and once more below when the accept loop exits — so a
+	// crash loses at most one flush interval of bargaining progress.
+	var flushDone chan struct{}
+	if st := s.State(); st != nil {
+		flushDone = make(chan struct{})
+		go func() {
+			defer close(flushDone)
+			t := time.NewTicker(s.cfg.flushEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					_ = st.Flush()
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	// Admission control: sem counts in-flight connections (queued plus
+	// being served) against the pool size plus the backlog. A connection
+	// that finds every slot taken is refused on a side goroutine with a
+	// typed busy envelope instead of queueing unboundedly or silently
+	// stalling the accept loop. The slot count — not channel readiness —
+	// is the admission test, so an idle pool never spuriously refuses.
+	sem := make(chan struct{}, workers+s.cfg.backlog)
+	conns := make(chan net.Conn, s.cfg.backlog)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -379,6 +569,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			defer wg.Done()
 			for conn := range conns {
 				s.handle(conn)
+				<-sem
 			}
 		}()
 	}
@@ -395,14 +586,33 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			break
 		}
 		s.accepted.Add(1)
-		select {
-		case conns <- conn:
-		case <-ctx.Done():
+		if ctx.Err() != nil {
 			conn.Close()
+			continue
+		}
+		select {
+		case sem <- struct{}{}:
+			// A held slot bounds the queue: at most backlog connections sit
+			// in the channel when every worker is busy, so this send can
+			// only block momentarily (a worker between sessions).
+			conns <- conn
+		default:
+			s.busy.Add(1)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.rejectBusy(conn)
+			}()
 		}
 	}
 	close(conns)
 	wg.Wait()
+	if flushDone != nil {
+		<-flushDone
+	}
+	if ferr := s.FlushState(); ferr != nil && err == nil {
+		err = ferr
+	}
 	// Release per-market background resources (secure randomizer pools) —
 	// but only on deliberate shutdown: closing a pool is permanent, and a
 	// transient listener error should leave the markets warm for the
@@ -419,6 +629,33 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		s.mu.RUnlock()
 	}
 	return err
+}
+
+// rejectBusy turns away one connection whose arrival found the session
+// pool and backlog saturated: it still reads the client's handshake (so
+// the refusal lands on a framed codec), answers with the v4 busy envelope
+// — or a plain error for older clients, which have no KindBusy — and
+// closes. Runs on its own goroutine so a slow-writing client cannot stall
+// the accept loop.
+func (s *Server) rejectBusy(conn net.Conn) {
+	defer conn.Close()
+	remote := ""
+	if addr := conn.RemoteAddr(); addr != nil {
+		remote = addr.String()
+	}
+	busyErr := fmt.Errorf("vflmarket: session pool saturated; retry later")
+	tconn := wire.WithIOTimeout(conn, s.cfg.ioTimeout)
+	codec, ch, err := wire.AcceptHandshake(tconn)
+	if err == nil {
+		if ch.Version >= 4 {
+			wire.SendBusy(codec, "%v", busyErr)
+		} else {
+			wire.SendError(codec, "%v", busyErr)
+		}
+	}
+	if s.cfg.hook != nil {
+		s.cfg.hook(SessionEvent{Remote: remote, Err: busyErr})
+	}
 }
 
 // handle runs one connection end to end: handshake, market resolution, and
@@ -508,6 +745,15 @@ func (s *Server) handle(conn net.Conn) {
 			notify(name, nil, err)
 			return
 		}
+		// A resume request is vetted here, while an error envelope can still
+		// take the Hello's place: the wire layer refuses without sending
+		// (its direct callers own the codec), so the frontend speaks.
+		if err := mkt.ds.CheckResume(ch.Imperfect); err != nil {
+			s.rejected.Add(1)
+			wire.SendError(codec, "%v", err)
+			notify(name, nil, err)
+			return
+		}
 	}
 
 	// In secure mode the Hello carries the market's public key, so this
@@ -537,6 +783,9 @@ func (s *Server) handle(conn net.Conn) {
 	var serr error
 	if mode == wire.ModeImperfect {
 		mkt.imperfect.Add(1)
+		if ch.Imperfect.ResumeRound > 0 {
+			mkt.resumed.Add(1)
+		}
 		sum, serr = mkt.ds.ServeImperfectCodec(codec, hello, ch.Imperfect)
 	} else {
 		sum, serr = mkt.ds.ServeCodec(codec, hello)

@@ -1,0 +1,283 @@
+package vflmarket
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/vfl"
+)
+
+// MarketState is a handle on one durable state directory: the versioned
+// snapshot store underneath, the process-wide valuation-cache registry over
+// it, and the per-market estimator checkpoint books. Engines and Servers
+// opened on the same MarketState share one registry (one oracle per
+// dataset/seed/config — every VFL course trains at most once), and Flush
+// spills everything to disk so the next process boots warm.
+//
+// WithStateDir resolves directories through a process-wide cache, so every
+// component naming the same directory shares one MarketState.
+// OpenMarketState always builds a fresh handle over the directory —
+// deliberately bypassing the cache — which is how tests simulate a process
+// restart without forking: a fresh handle starts cold in memory and warms
+// itself from whatever the previous handle flushed.
+type MarketState struct {
+	dir string
+	st  *store.Store
+	reg *vfl.Registry
+
+	mu    sync.Mutex
+	books map[string]*ckptBook
+}
+
+// OpenMarketState opens (creating if needed) the state directory and
+// returns a fresh handle over it: an empty in-memory registry that warms
+// itself from the directory's snapshots as oracles and checkpoints are
+// first referenced. Most callers want WithStateDir (shared handle) instead;
+// open an explicit fresh handle to simulate a restart in-process.
+func OpenMarketState(dir string) (*MarketState, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("vflmarket: open state dir: %w", err)
+	}
+	return &MarketState{
+		dir:   st.Dir(),
+		st:    st,
+		reg:   vfl.NewRegistry(st),
+		books: make(map[string]*ckptBook),
+	}, nil
+}
+
+// stateCache shares one MarketState per absolute directory across the
+// process, so a Server and the Engines registered into it (or several
+// Servers) agree on one registry.
+var stateCache = struct {
+	sync.Mutex
+	m map[string]*MarketState
+}{m: make(map[string]*MarketState)}
+
+// SharedMarketState resolves dir through the process-wide cache: the first
+// call opens the directory, later calls return the same handle. It is what
+// WithStateDir uses on both Engine and Server.
+func SharedMarketState(dir string) (*MarketState, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("vflmarket: state dir: %w", err)
+	}
+	stateCache.Lock()
+	defer stateCache.Unlock()
+	if ms, ok := stateCache.m[abs]; ok {
+		return ms, nil
+	}
+	ms, err := OpenMarketState(abs)
+	if err != nil {
+		return nil, err
+	}
+	stateCache.m[abs] = ms
+	return ms, nil
+}
+
+// Dir returns the state directory.
+func (m *MarketState) Dir() string { return m.dir }
+
+// Registry returns the valuation-cache registry over this state: the oracle
+// sharing and memo persistence layer.
+func (m *MarketState) Registry() *vfl.Registry { return m.reg }
+
+// Flush spills everything volatile to the snapshot store: every registered
+// oracle's valuation memo and every market's dirty estimator checkpoints.
+// The first error is returned after attempting everything.
+func (m *MarketState) Flush() error {
+	first := m.reg.Flush()
+	m.mu.Lock()
+	books := make([]*ckptBook, 0, len(m.books))
+	for _, b := range m.books {
+		books = append(books, b)
+	}
+	m.mu.Unlock()
+	for _, b := range books {
+		if err := b.flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// book returns the market's estimator checkpoint book, creating it on first
+// use.
+func (m *MarketState) book(market string) *ckptBook {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.books[market]
+	if !ok {
+		b = &ckptBook{
+			st:     m.st,
+			prefix: "estimators/" + marketSlug(market) + "/",
+			cache:  make(map[string]*core.SellerCheckpoint),
+			dirty:  make(map[string]bool),
+		}
+		m.books[market] = b
+	}
+	return b
+}
+
+// restoredCheckpoints counts the estimator checkpoints loaded from disk
+// across every market book — the sessions a restarted server can resume
+// without re-exploring.
+func (m *MarketState) restoredCheckpoints() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, b := range m.books {
+		n += b.restoredCount()
+	}
+	return n
+}
+
+// marketSlug maps a market name to a filename-safe snapshot path segment.
+// Clean names pass through (so the on-disk layout stays readable); anything
+// else is digested.
+func marketSlug(name string) string {
+	clean := name != "" && name[0] != '.'
+	for i := 0; clean && i < len(name); i++ {
+		switch c := name[i]; {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '-', c == '.':
+		default:
+			clean = false
+		}
+	}
+	if clean && len(name) <= 64 {
+		return name
+	}
+	sum := sha256.Sum256([]byte(name))
+	return hex.EncodeToString(sum[:12])
+}
+
+// ckptSchemaVersion is the payload schema of a persisted seller checkpoint.
+const ckptSchemaVersion = 1
+
+// maxCheckpointClients caps the per-market checkpoint book: client
+// identities are client-chosen input, so an unbounded book would let a
+// hostile fleet grow server memory without limit. Past the cap, the book
+// evicts an arbitrary flushed entry (a disk copy survives; only the hot
+// cache is bounded).
+const maxCheckpointClients = 1024
+
+// ckptBook is one market's durable estimator-checkpoint registry: a
+// write-back cache over the snapshot store, implementing
+// wire.SellerCheckpoints. Saves land in memory (the serving hot path never
+// waits on disk) and spill on flush; loads fall through to disk, which is
+// how a restarted server resumes sessions it checkpointed in a previous
+// life.
+type ckptBook struct {
+	st     *store.Store
+	prefix string
+
+	mu       sync.Mutex
+	cache    map[string]*core.SellerCheckpoint
+	dirty    map[string]bool
+	restored int
+}
+
+func (b *ckptBook) Save(clientID string, ck *core.SellerCheckpoint) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.cache[clientID]; !ok && len(b.cache) >= maxCheckpointClients {
+		for id := range b.cache {
+			if !b.dirty[id] {
+				delete(b.cache, id)
+				break
+			}
+		}
+		if len(b.cache) >= maxCheckpointClients {
+			// Everything resident is dirty: drop the newcomer rather than
+			// lose an unflushed checkpoint.
+			return
+		}
+	}
+	b.cache[clientID] = ck
+	b.dirty[clientID] = true
+}
+
+func (b *ckptBook) Load(clientID string) (*core.SellerCheckpoint, bool) {
+	b.mu.Lock()
+	if ck, ok := b.cache[clientID]; ok {
+		b.mu.Unlock()
+		return ck, true
+	}
+	b.mu.Unlock()
+
+	// Cold: fall through to the snapshot store. Any failure — missing,
+	// corrupt, truncated, future-versioned — is simply a miss; the client
+	// is told to start fresh.
+	payload, _, err := b.st.Load(b.prefix+clientID, ckptSchemaVersion)
+	if err != nil {
+		return nil, false
+	}
+	var ck core.SellerCheckpoint
+	if gob.NewDecoder(bytes.NewReader(payload)).Decode(&ck) != nil {
+		return nil, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if prior, ok := b.cache[clientID]; ok { // raced load
+		return prior, true
+	}
+	b.cache[clientID] = &ck
+	b.restored++
+	return &ck, true
+}
+
+// flush spills every dirty checkpoint; entries that fail stay dirty for the
+// next attempt.
+func (b *ckptBook) flush() error {
+	b.mu.Lock()
+	ids := make([]string, 0, len(b.dirty))
+	cks := make([]*core.SellerCheckpoint, 0, len(b.dirty))
+	for id := range b.dirty {
+		ids = append(ids, id)
+		cks = append(cks, b.cache[id])
+	}
+	b.mu.Unlock()
+
+	var first error
+	for i, ck := range cks {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+			if first == nil {
+				first = fmt.Errorf("vflmarket: flush checkpoint %q: %w", ids[i], err)
+			}
+			continue
+		}
+		if err := b.st.Save(b.prefix+ids[i], ckptSchemaVersion, buf.Bytes()); err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		b.mu.Lock()
+		delete(b.dirty, ids[i])
+		b.mu.Unlock()
+	}
+	return first
+}
+
+func (b *ckptBook) restoredCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.restored
+}
+
+// clientCount reports how many client identities the book holds in memory.
+func (b *ckptBook) clientCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.cache)
+}
