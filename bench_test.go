@@ -531,3 +531,42 @@ func BenchmarkImperfectServiceRoundTrip(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkShardRouting prices the fabric's routing tax: a full Dial
+// (probe handshake) against the market's owner shard ("direct") versus
+// against a shard that does not own it ("redirect" — one v5 redirect
+// envelope plus the re-dial to the owner). The delta is the worst-case
+// per-connection cost of dialing the wrong door in a sharded fleet;
+// steady-state clients pay it once, since the client re-points itself at
+// the owner it is redirected to.
+func BenchmarkShardRouting(b *testing.B) {
+	factory := func(market string, state *MarketState) (*Engine, error) {
+		return NewEngineFromConfig(Config{Dataset: "titanic", Synthetic: true, Scale: 0.25, Seed: 11, State: state})
+	}
+	cluster, err := NewCluster(2, "", factory)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.Register("titanic"); err != nil {
+		b.Fatal(err)
+	}
+	owner := cluster.Markets()["titanic"]
+	addrs := cluster.Addrs()
+	direct, wrong := addrs[owner], addrs[1-owner]
+
+	for _, bc := range []struct {
+		name string
+		addr string
+	}{{"direct", direct}, {"redirect", wrong}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				client, err := Dial(context.Background(), bc.addr, WithMarket("titanic"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				client.Close()
+			}
+		})
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	mrand "math/rand"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -27,17 +29,74 @@ type dialConfig struct {
 	imperfect   *ImperfectParams
 	noisePool   int
 	identity    string
+	backoff     ResumeBackoff
 }
 
-// Auto-resume policy for identified imperfect sessions: how many times one
-// BargainImperfect call redials after a transport failure, and how long it
-// waits between attempts (enough for a crashed server to come back during
-// a supervised restart, without stalling a genuinely dead endpoint for
-// long).
-const (
-	resumeAttempts = 12
-	resumeBackoff  = 150 * time.Millisecond
-)
+// ResumeBackoff is the auto-resume redial policy for identified imperfect
+// sessions: how many times one BargainImperfect call dials after a
+// transport failure or busy refusal, and how the waits between attempts
+// grow. The schedule is capped exponential with jitter — wait k is
+// Base·2^(k−1) clamped to Max, scaled by a uniform factor in
+// [1−Jitter, 1+Jitter] so a fleet of clients evicted together (a market
+// migration severs every session at once) does not redial in lockstep.
+type ResumeBackoff struct {
+	// Attempts is the total number of dial attempts one call makes, the
+	// first included. <= 0 keeps the default (12).
+	Attempts int
+	// Base is the wait before the first redial. <= 0 keeps the default
+	// (150ms).
+	Base time.Duration
+	// Max caps a single wait once the doubling reaches it. <= 0 keeps the
+	// default (2s).
+	Max time.Duration
+	// Jitter is the ± fraction randomizing each wait. 0 keeps the default
+	// (0.2); negative disables jitter (deterministic schedule, for tests).
+	Jitter float64
+}
+
+func (b ResumeBackoff) withDefaults() ResumeBackoff {
+	if b.Attempts <= 0 {
+		b.Attempts = 12
+	}
+	if b.Base <= 0 {
+		b.Base = 150 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 2 * time.Second
+	}
+	if b.Jitter == 0 {
+		b.Jitter = 0.2
+	}
+	if b.Jitter < 0 {
+		b.Jitter = 0
+	}
+	if b.Jitter > 1 {
+		b.Jitter = 1
+	}
+	return b
+}
+
+// wait returns the sleep before redial k (k >= 1) on a defaulted policy.
+func (b ResumeBackoff) wait(k int) time.Duration {
+	d := b.Base
+	for i := 1; i < k && d < b.Max; i++ {
+		d *= 2
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	if b.Jitter > 0 {
+		d = time.Duration(float64(d) * (1 + b.Jitter*(2*mrand.Float64()-1)))
+	}
+	return d
+}
+
+// WithResumeBackoff sets the auto-resume redial policy for identified
+// imperfect sessions, replacing the default 12-attempt, 150ms-base
+// schedule. Zero-valued fields keep their defaults.
+func WithResumeBackoff(b ResumeBackoff) DialOption {
+	return func(c *dialConfig) { c.backoff = b }
+}
 
 // WithCodec selects the wire framing: CodecGob (default, Go-native) or
 // CodecJSON (interoperable with non-Go task parties).
@@ -116,10 +175,29 @@ func WithClientNoisePool(n int) DialOption {
 // Engine.Bargain's contract (options merging over the template session,
 // observers, cancellation between rounds) over the network.
 type Client struct {
-	addr  string
 	cfg   dialConfig
 	hello *wire.Hello
 	noise *secure.NoiseSource
+
+	// mu guards addr: against a sharded fabric the client learns the
+	// market's current home from redirect answers and re-points itself, so
+	// concurrent Bargain calls must read a coherent address.
+	mu   sync.Mutex
+	addr string
+}
+
+// Addr returns the address the client currently dials — the Dial address
+// until a shard redirect re-points it at the market's owner.
+func (c *Client) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addr
+}
+
+func (c *Client) setAddr(addr string) {
+	c.mu.Lock()
+	c.addr = addr
+	c.mu.Unlock()
 }
 
 // Dial validates the service at addr and returns a Client bound to it: it
@@ -166,28 +244,76 @@ func (c *Client) Close() {
 
 // probe runs one listing-only handshake.
 func (c *Client) probe(ctx context.Context) (*wire.Hello, error) {
-	conn, err := c.dial(ctx)
+	conn, _, hello, err := c.connect(ctx, wire.ClientHello{Market: c.cfg.market, ListOnly: true})
+	if err != nil {
+		return nil, err
+	}
+	conn.Close()
+	return hello, nil
+}
+
+// maxRedirectHops bounds one connection attempt's redirect chain. A
+// healthy fabric answers in one hop; the bound is a loop guard against a
+// misconfigured directory that points shards at each other.
+const maxRedirectHops = 8
+
+// connect dials the client's current address and performs the handshake,
+// transparently following shard redirects: a fabric shard that does not
+// own the requested market answers with its owner's address, and the
+// client re-dials there and remembers the address for subsequent sessions.
+func (c *Client) connect(ctx context.Context, hs wire.ClientHello) (net.Conn, wire.Codec, *wire.Hello, error) {
+	addr := c.Addr()
+	for hop := 0; ; hop++ {
+		conn, err := c.dialAddr(ctx, addr)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		// Poking the deadline on cancellation unblocks the handshake read.
+		stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
+		codec, hello, err := wire.ClientHandshake(wire.WithIOTimeout(conn, c.cfg.ioTimeout), c.cfg.codec, hs)
+		stop()
+		if err == nil {
+			c.setAddr(addr)
+			return conn, codec, hello, nil
+		}
+		conn.Close()
+		var rd *wire.RedirectError
+		if !errors.As(err, &rd) || rd.Addr == "" || hop >= maxRedirectHops {
+			return nil, nil, nil, err
+		}
+		addr = rd.Addr
+	}
+}
+
+func (c *Client) dialAddr(ctx context.Context, addr string) (net.Conn, error) {
+	d := net.Dialer{Timeout: c.cfg.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("vflmarket: dial %s: %w", addr, err)
+	}
+	return conn, nil
+}
+
+// Stats fetches the server's admin metrics snapshot — server counters,
+// per-market counters, and the shard-map epoch on fabric shards — over a
+// one-shot stats-only handshake. The fabric's rebalancer reads shards
+// exactly this way.
+func (c *Client) Stats(ctx context.Context) (*StatsReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	conn, err := c.dialAddr(ctx, c.Addr())
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
 	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
 	defer stop()
-	_, hello, err := wire.ClientHandshake(wire.WithIOTimeout(conn, c.cfg.ioTimeout), c.cfg.codec,
-		wire.ClientHello{Market: c.cfg.market, ListOnly: true})
+	rep, err := wire.FetchStats(conn, c.cfg.codec, c.cfg.ioTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("vflmarket: dial %s: %w", c.addr, err)
+		return nil, wrapCtx(ctx, err)
 	}
-	return hello, nil
-}
-
-func (c *Client) dial(ctx context.Context) (net.Conn, error) {
-	d := net.Dialer{Timeout: c.cfg.dialTimeout}
-	conn, err := d.DialContext(ctx, "tcp", c.addr)
-	if err != nil {
-		return nil, fmt.Errorf("vflmarket: dial %s: %w", c.addr, err)
-	}
-	return conn, nil
+	return rep, nil
 }
 
 // Market returns the resolved market name this client bargains in.
@@ -286,10 +412,12 @@ func (c *Client) BargainImperfectWith(ctx context.Context, cfg SessionConfig, pa
 	// settled round checkpoints the buyer's estimator, and a transport
 	// failure redials presenting the last acknowledged round, so the session
 	// continues from its checkpoints instead of starting over. Without an
-	// identity a failure surfaces immediately, as before.
+	// identity a failure surfaces immediately, as before. The waits between
+	// redials follow the (configurable) capped-exponential schedule.
+	bo := c.cfg.backoff.withDefaults()
 	attempts := 1
 	if c.cfg.identity != "" {
-		attempts = resumeAttempts
+		attempts = bo.Attempts
 	}
 	var res *ImperfectResult
 	var last *core.ImperfectCheckpoint
@@ -297,7 +425,7 @@ func (c *Client) BargainImperfectWith(ctx context.Context, cfg SessionConfig, pa
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			select {
-			case <-time.After(resumeBackoff):
+			case <-time.After(bo.wait(attempt)):
 			case <-ctx.Done():
 				return nil, fmt.Errorf("vflmarket: bargaining abandoned: %w", context.Cause(ctx))
 			}
@@ -364,9 +492,9 @@ func (c *Client) withSession(ctx context.Context, gains GainProvider, hs wire.Cl
 	if gains == nil {
 		return fmt.Errorf("vflmarket: bargaining needs a gain provider: Dial with WithGains")
 	}
-	conn, err := c.dial(ctx)
+	conn, codec, hello, err := c.connect(ctx, hs)
 	if err != nil {
-		return err
+		return wrapCtx(ctx, err)
 	}
 	defer conn.Close()
 	// Poking the deadline on cancellation unblocks any in-flight read, so
@@ -374,11 +502,6 @@ func (c *Client) withSession(ctx context.Context, gains GainProvider, hs wire.Cl
 	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
 	defer stop()
 
-	tconn := wire.WithIOTimeout(conn, c.cfg.ioTimeout)
-	codec, hello, err := wire.ClientHandshake(tconn, c.cfg.codec, hs)
-	if err != nil {
-		return wrapCtx(ctx, err)
-	}
 	tc := &wire.TaskClient{Session: cfg, Gains: gains, Observers: toCoreObservers(obs), Noise: c.noise}
 	if err := run(ctx, tc, codec, hello); err != nil {
 		return wrapCtx(ctx, err)

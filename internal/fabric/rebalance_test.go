@@ -1,0 +1,132 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// statsTable is a canned StatsFunc: per-shard reports swapped between
+// observation passes.
+type statsTable struct {
+	reports map[int]*wire.StatsReport
+	errs    map[int]error
+}
+
+func (s *statsTable) fetch(_ context.Context, shard Shard) (*wire.StatsReport, error) {
+	if err := s.errs[shard.ID]; err != nil {
+		return nil, err
+	}
+	rep, ok := s.reports[shard.ID]
+	if !ok {
+		rep = &wire.StatsReport{Markets: map[string]wire.MarketStats{}}
+	}
+	return rep, nil
+}
+
+func report(busy uint64, markets map[string]wire.MarketStats) *wire.StatsReport {
+	return &wire.StatsReport{Server: wire.ServerStats{Busy: busy}, Markets: markets}
+}
+
+// TestRebalancerPlansHotMarketOffOverloadedShard: one shard carrying a hot
+// market plus admission-control refusals, two idle peers — the planner
+// proposes exactly one transfer, of the hot market, onto the least loaded
+// shard.
+func TestRebalancerPlansHotMarketOffOverloadedShard(t *testing.T) {
+	reg, err := NewRegistry(testShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := &statsTable{reports: map[int]*wire.StatsReport{
+		0: report(10, map[string]wire.MarketStats{
+			"hot":  {Sessions: 100, ActiveSessions: 4},
+			"warm": {Sessions: 10},
+		}),
+		1: report(0, map[string]wire.MarketStats{"cold-a": {Sessions: 2}}),
+		2: report(0, map[string]wire.MarketStats{"cold-b": {Sessions: 1}}),
+	}}
+	rb := NewRebalancer(reg, table.fetch)
+	plans := rb.Plan(context.Background())
+	if len(plans) != 1 {
+		t.Fatalf("planned %d transfers, want 1: %+v", len(plans), plans)
+	}
+	p := plans[0]
+	if p.Market != "hot" {
+		t.Fatalf("planned to move %q, want the hot market", p.Market)
+	}
+	if p.From.ID != 0 || p.To.ID != 2 {
+		t.Fatalf("planned %d -> %d, want 0 -> 2 (least loaded)", p.From.ID, p.To.ID)
+	}
+	if p.Reason == "" {
+		t.Fatal("transfer carries no reason")
+	}
+}
+
+// TestRebalancerBalancedOrIdleFleetStaysPut: neither an even spread nor an
+// idle fleet triggers transfers, and cumulative counters are differenced —
+// a shard that was hot in a previous window but idle now is left alone.
+func TestRebalancerBalancedOrIdleFleetStaysPut(t *testing.T) {
+	reg, err := NewRegistry(testShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	even := map[int]*wire.StatsReport{
+		0: report(0, map[string]wire.MarketStats{"a": {Sessions: 50}}),
+		1: report(0, map[string]wire.MarketStats{"b": {Sessions: 48}}),
+	}
+	table := &statsTable{reports: even}
+	rb := NewRebalancer(reg, table.fetch)
+	if plans := rb.Plan(context.Background()); len(plans) != 0 {
+		t.Fatalf("balanced fleet got %d transfers: %+v", len(plans), plans)
+	}
+
+	// Same cumulative counters next pass: the window delta is zero
+	// everywhere, so even a skewed history plans nothing.
+	skewed := map[int]*wire.StatsReport{
+		0: report(0, map[string]wire.MarketStats{"a": {Sessions: 500}}),
+		1: report(0, map[string]wire.MarketStats{"b": {Sessions: 48}}),
+	}
+	table.reports = skewed
+	rb.Plan(context.Background()) // absorbs the skewed window
+	if plans := rb.Plan(context.Background()); len(plans) != 0 {
+		t.Fatalf("idle window planned %d transfers off stale history: %+v", len(plans), plans)
+	}
+}
+
+// TestRebalancerSkipsUnreachableShards: a failed stats fetch removes the
+// shard from planning (never a panic, never a transfer onto a black hole),
+// and with fewer than two reachable shards nothing is planned.
+func TestRebalancerSkipsUnreachableShards(t *testing.T) {
+	reg, err := NewRegistry(testShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := &statsTable{
+		reports: map[int]*wire.StatsReport{
+			0: report(20, map[string]wire.MarketStats{"hot": {Sessions: 200}, "warm": {Sessions: 5}}),
+			1: report(0, map[string]wire.MarketStats{}),
+		},
+		errs: map[int]error{2: fmt.Errorf("connection refused")},
+	}
+	rb := NewRebalancer(reg, table.fetch)
+	loads := rb.Observe(context.Background())
+	if len(loads) != 3 {
+		t.Fatalf("Observe returned %d shards, want 3", len(loads))
+	}
+	if loads[2].Err == nil {
+		t.Fatal("unreachable shard not flagged")
+	}
+	plans := rb.Plan(context.Background())
+	for _, p := range plans {
+		if p.To.ID == 2 || p.From.ID == 2 {
+			t.Fatalf("planned a transfer touching the unreachable shard: %+v", p)
+		}
+	}
+
+	table.errs = map[int]error{0: fmt.Errorf("down"), 2: fmt.Errorf("down")}
+	if plans := rb.Plan(context.Background()); len(plans) != 0 {
+		t.Fatalf("single reachable shard planned %d transfers", len(plans))
+	}
+}

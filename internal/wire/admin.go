@@ -1,0 +1,33 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// FetchStats performs the v5 admin exchange on a fresh connection: the
+// preamble, a StatsOnly hello, and the server's KindStats answer. It is
+// the over-the-wire metrics read the fabric rebalancer consumes in place
+// of in-process Server.Metrics/MarketMetrics calls. The caller owns the
+// connection; ioTimeout <= 0 means no deadline.
+func FetchStats(conn net.Conn, codecName string, ioTimeout time.Duration) (*StatsReport, error) {
+	tconn := WithIOTimeout(conn, ioTimeout)
+	if err := WriteHandshake(tconn, codecName); err != nil {
+		return nil, err
+	}
+	c, err := NewCodec(codecName, tconn, tconn)
+	if err != nil {
+		return nil, err
+	}
+	l := link{c}
+	hello := ClientHello{Version: ProtocolVersion, StatsOnly: true}
+	if err := l.send(&Envelope{Kind: KindClientHello, Client: &hello}); err != nil {
+		return nil, err
+	}
+	e, err := l.recv(KindStats)
+	if err != nil {
+		return nil, fmt.Errorf("wire: fetch stats: %w", err)
+	}
+	return e.Stats, nil
+}

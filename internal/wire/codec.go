@@ -34,6 +34,29 @@ var ErrRejected = errors.New("wire: peer rejected the session")
 // after a backoff is reasonable.
 var ErrServerBusy = errors.New("wire: server busy")
 
+// ErrRedirected marks a connection the server answered with a KindRedirect
+// envelope: it does not own the requested market and named the shard that
+// does. Match the concrete *RedirectError with errors.As to learn the
+// owner's address; errors.Is(err, ErrRedirected) also reports true.
+var ErrRedirected = errors.New("wire: session redirected")
+
+// RedirectError is the typed surface of a KindRedirect answer: the market
+// asked for, the owning shard's address, and the shard-map epoch the
+// answer was derived from. It matches ErrRedirected under errors.Is.
+type RedirectError struct {
+	Market string
+	Addr   string
+	Epoch  uint64
+}
+
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("wire: market %q is served at %s (shard-map epoch %d)", e.Market, e.Addr, e.Epoch)
+}
+
+// Is matches the ErrRedirected sentinel, so callers without the concrete
+// type can still classify the failure.
+func (e *RedirectError) Is(target error) bool { return target == ErrRedirected }
+
 // Codec frames protocol envelopes on a connection. Implementations are not
 // safe for concurrent use; the protocol is strictly half-duplex per
 // session.
@@ -134,6 +157,12 @@ func (l link) recvAny(wants ...Kind) (*Envelope, error) {
 		}
 		return nil, fmt.Errorf("%w: %s", ErrRejected, msg)
 	}
+	if e.Kind == KindRedirect {
+		if e.Redirect == nil {
+			return nil, fmt.Errorf("wire: redirect envelope without payload")
+		}
+		return nil, &RedirectError{Market: e.Redirect.Market, Addr: e.Redirect.Addr, Epoch: e.Redirect.Epoch}
+	}
 	for _, w := range wants {
 		if e.Kind == w {
 			if payloadMissing(e) {
@@ -162,6 +191,8 @@ func payloadMissing(e *Envelope) bool {
 		return e.Client == nil
 	case KindAck:
 		return e.Ack == nil
+	case KindStats:
+		return e.Stats == nil
 	default:
 		return false
 	}
@@ -210,11 +241,12 @@ func WithIOTimeout(conn net.Conn, d time.Duration) net.Conn {
 	return deadlineConn{Conn: conn, d: d}
 }
 
-// handshakeMagic opens every v4 connection, followed by the codec name and
-// a newline. Servers also accept the v3 and v2 spellings from older
+// handshakeMagic opens every v5 connection, followed by the codec name and
+// a newline. Servers also accept the v4, v3 and v2 spellings from older
 // clients.
 const (
-	handshakeMagic   = "VFLM/4"
+	handshakeMagic   = "VFLM/5"
+	handshakeMagicV4 = "VFLM/4"
 	handshakeMagicV3 = "VFLM/3"
 	handshakeMagicV2 = "VFLM/2"
 )
@@ -223,7 +255,7 @@ const (
 // fast.
 const maxHandshakeLen = 64
 
-// WriteHandshake sends the v4 preamble naming the codec the client will
+// WriteHandshake sends the v5 preamble naming the codec the client will
 // speak.
 func WriteHandshake(w io.Writer, codecName string) error {
 	if _, err := fmt.Fprintf(w, "%s %s\n", handshakeMagic, codecName); err != nil {
@@ -232,7 +264,7 @@ func WriteHandshake(w io.Writer, codecName string) error {
 	return nil
 }
 
-// ReadHandshake consumes the v2/v3 preamble and returns the codec name the
+// ReadHandshake consumes the v2–v5 preamble and returns the codec name the
 // client announced.
 func ReadHandshake(br *bufio.Reader) (codecName string, err error) {
 	line, err := readLine(br, maxHandshakeLen)
@@ -241,7 +273,8 @@ func ReadHandshake(br *bufio.Reader) (codecName string, err error) {
 	}
 	fields := strings.Fields(line)
 	if len(fields) != 2 ||
-		(fields[0] != handshakeMagic && fields[0] != handshakeMagicV3 && fields[0] != handshakeMagicV2) {
+		(fields[0] != handshakeMagic && fields[0] != handshakeMagicV4 &&
+			fields[0] != handshakeMagicV3 && fields[0] != handshakeMagicV2) {
 		return "", fmt.Errorf("wire: handshake: bad preamble %q", line)
 	}
 	return fields[1], nil
@@ -318,4 +351,11 @@ func SendError(c Codec, format string, args ...any) {
 // SendError.
 func SendBusy(c Codec, format string, args ...any) {
 	_ = c.Send(&Envelope{Kind: KindBusy, Err: &ErrorMsg{Msg: fmt.Sprintf(format, args...)}})
+}
+
+// SendRedirect sends the v5 shard-routing answer in place of the Hello:
+// the server does not own the market, and the client should redial Addr.
+// The connection closes after it. Best effort, like SendError.
+func SendRedirect(c Codec, r *Redirect) {
+	_ = c.Send(&Envelope{Kind: KindRedirect, Redirect: r})
 }

@@ -48,10 +48,14 @@ import (
 )
 
 // ProtocolVersion is the current wire protocol version, carried in
-// ClientHello and echoed in Hello. v4 adds session resume (client identity
-// and resume round in ImperfectHello, Resumed in Hello) and the KindBusy
-// admission-control envelope; v3 and v2 clients are still accepted.
-const ProtocolVersion = 4
+// ClientHello and echoed in Hello. v5 adds the sharded-fabric envelopes:
+// KindRedirect (a shard that no longer owns a market answers with the
+// current owner and shard-map epoch instead of an error) and KindStats
+// (the admin metrics snapshot rebalancers consume), plus
+// ClientHello.StatsOnly. v4 added session resume (client identity and
+// resume round in ImperfectHello, Resumed in Hello) and the KindBusy
+// admission-control envelope; v2–v4 clients are still accepted.
+const ProtocolVersion = 5
 
 // Information regimes named in the handshake.
 const (
@@ -80,6 +84,16 @@ const (
 	// pool is saturated and the connection is refused rather than queued.
 	// Clients surface it as ErrServerBusy and may retry with backoff.
 	KindBusy
+	// KindRedirect is the v5 shard-routing answer: the server does not own
+	// the requested market, and instead of a terminal error it names the
+	// shard that does (plus the shard-map epoch of that knowledge). Clients
+	// surface it as a *RedirectError and transparently redial the owner.
+	KindRedirect
+	// KindStats is the v5 admin metrics envelope: a server answers a
+	// StatsOnly hello with its counter snapshot — server totals plus the
+	// per-market load the fabric rebalancer plans transfers from — and
+	// closes.
+	KindStats
 )
 
 // String implements fmt.Stringer.
@@ -101,6 +115,10 @@ func (k Kind) String() string {
 		return "ack"
 	case KindBusy:
 		return "busy"
+	case KindRedirect:
+		return "redirect"
+	case KindStats:
+		return "stats"
 	default:
 		return "kind(" + strconv.Itoa(int(k)) + ")"
 	}
@@ -131,6 +149,11 @@ type ClientHello struct {
 	// ListOnly asks for the Hello (markets, listing, key) without opening a
 	// bargaining session; the server answers and closes.
 	ListOnly bool
+	// StatsOnly (v5) asks for the server's metrics snapshot (a KindStats
+	// envelope) instead of a session; the server answers and closes. It is
+	// the admin read the fabric rebalancer consumes — no Hello, no listing,
+	// no market resolution.
+	StatsOnly bool
 }
 
 // ImperfectHello is the imperfect-regime half of the handshake: the
@@ -250,16 +273,75 @@ type ErrorMsg struct {
 	Msg string
 }
 
+// Redirect is the v5 shard-routing payload: the answering server does not
+// own Market, and Addr is where it lives per the shard map at Epoch. The
+// connection closes after it; the client redials Addr with the same hello
+// (including any resume state — which is how an in-flight imperfect
+// session follows its market across a live migration).
+type Redirect struct {
+	// Market is the requested market the answer is about.
+	Market string
+	// Addr is the owning shard's dialable address.
+	Addr string
+	// Epoch is the shard-map version this answer was derived from; a client
+	// holding a newer epoch may treat the redirect as stale.
+	Epoch uint64
+}
+
+// ServerStats is the server-totals half of the v5 stats envelope, mirroring
+// the frontend's counter snapshot field for field.
+type ServerStats struct {
+	Accepted   uint64
+	Sessions   uint64
+	Closed     uint64
+	Failed     uint64
+	Rejected   uint64
+	Busy       uint64
+	Redirected uint64
+	Evicted    uint64
+	Active     int64
+}
+
+// MarketStats is one market's slice of the v5 stats envelope: session load
+// split by regime plus the valuation-oracle counters — the per-market load
+// signal the fabric rebalancer plans transfers from.
+type MarketStats struct {
+	Sessions          uint64
+	ImperfectSessions uint64
+	ResumedSessions   uint64
+	ActiveSessions    int64
+	OracleTrainings   int
+	OracleCachedGains int
+	OracleHits        int
+	OracleCoalesced   int
+	OracleRestored    int
+	// CheckpointedClients counts the client identities with live estimator
+	// checkpoints — sessions a migration must carry to the next owner.
+	CheckpointedClients int
+}
+
+// StatsReport is the v5 admin metrics snapshot a server answers a
+// StatsOnly hello with.
+type StatsReport struct {
+	Server  ServerStats
+	Markets map[string]MarketStats
+	// Epoch is the shard-map epoch the server routes by, when it is
+	// directory-attached; 0 on standalone servers.
+	Epoch uint64
+}
+
 // Envelope is the single wire frame.
 type Envelope struct {
-	Kind   Kind
-	Hello  *Hello       `json:",omitempty"`
-	Quote  *Quote       `json:",omitempty"`
-	Offer  *Offer       `json:",omitempty"`
-	Settle *Settle      `json:",omitempty"`
-	Client *ClientHello `json:",omitempty"`
-	Err    *ErrorMsg    `json:",omitempty"`
-	Ack    *Ack         `json:",omitempty"`
+	Kind     Kind
+	Hello    *Hello       `json:",omitempty"`
+	Quote    *Quote       `json:",omitempty"`
+	Offer    *Offer       `json:",omitempty"`
+	Settle   *Settle      `json:",omitempty"`
+	Client   *ClientHello `json:",omitempty"`
+	Err      *ErrorMsg    `json:",omitempty"`
+	Ack      *Ack         `json:",omitempty"`
+	Redirect *Redirect    `json:",omitempty"`
+	Stats    *StatsReport `json:",omitempty"`
 }
 
 func decisionOf(d core.SettleDecision) Decision {

@@ -20,6 +20,14 @@ type (
 	SessionSummary = wire.SessionSummary
 	// BundleInfo is one public listing entry (features, never prices).
 	BundleInfo = wire.BundleInfo
+	// StatsReport is the admin metrics snapshot a server answers a
+	// stats-only hello with: server counters, per-market counters, and the
+	// shard-map epoch when the server belongs to a fabric.
+	StatsReport = wire.StatsReport
+	// ServerStats is the server-level half of a StatsReport.
+	ServerStats = wire.ServerStats
+	// MarketStats is the per-market half of a StatsReport.
+	MarketStats = wire.MarketStats
 )
 
 // Codec names for WithCodec.
@@ -41,6 +49,43 @@ var ErrServerBusy = wire.ErrServerBusy
 // (unknown market, invalid parameters, no resumable checkpoint). Retrying
 // replays the same refusal.
 var ErrRejected = wire.ErrRejected
+
+// Route is a directory answer: the dialable address of the shard that owns
+// a market, the shard-map epoch that knowledge is versioned at, and
+// whether the market is mid-migration (in which case the server answers
+// clients with a retryable busy instead of a redirect — the new owner is
+// not serving yet).
+type Route struct {
+	// Addr is the owning shard's address ("" while Moving if the
+	// destination is not yet known to the directory).
+	Addr string
+	// Epoch is the shard-map version of this answer.
+	Epoch uint64
+	// Moving marks a market whose migration is in flight.
+	Moving bool
+}
+
+// MarketDirectory tells a shard where markets it does not serve live. A
+// directory-attached server answers a hello for an unregistered market
+// with a protocol-v5 redirect to the owning shard (or a retryable busy
+// while the market migrates) instead of a terminal unknown-market error.
+// Implementations must be safe for concurrent use; vflmarket.Cluster backs
+// it with the fabric registry.
+type MarketDirectory interface {
+	// Route resolves a market this server does not have registered. ok =
+	// false means the directory has never heard of it either, and the
+	// server falls back to the unknown-market rejection.
+	Route(market string) (Route, bool)
+}
+
+// WithDirectory attaches the server to a market directory — the shard-map
+// half of the fabric. Helloes for markets the server does not serve are
+// answered with a redirect to the owner named by the directory (v5
+// clients; older clients get the address in an error message), or with a
+// retryable busy while the directory reports the market mid-migration.
+func WithDirectory(d MarketDirectory) ServerOption {
+	return func(c *serverConfig) { c.directory = d }
+}
 
 // SessionEvent is the per-session notification delivered to the hook
 // installed with WithSessionHook.
@@ -90,6 +135,10 @@ type MarketMetrics struct {
 	// to: a reconnecting client presented an identity with a live
 	// checkpoint and continued mid-game instead of re-exploring.
 	ResumedSessions uint64
+	// ActiveSessions is the number of this market's sessions being served
+	// right now — the signal the fabric's rebalancer weighs alongside the
+	// windowed counters.
+	ActiveSessions int64
 	// CheckpointedClients counts the client identities whose estimator
 	// checkpoints the market currently holds in memory (restored entries
 	// included). 0 without a bound state.
@@ -114,6 +163,15 @@ type ServerMetrics struct {
 	// and its backlog were saturated when they arrived. Busy refusals are
 	// not included in Rejected — they are load, not client error.
 	Busy uint64
+	// Redirected counts connections answered with a redirect to another
+	// shard (directory-attached servers only). Not included in Rejected —
+	// the client lands elsewhere, nothing was refused.
+	Redirected uint64
+	// Evicted counts sessions severed by Unregister — connections a
+	// migration cut mid-bargain so their clients would re-dial the new
+	// owner. Not included in Failed: an evicted session is fabric
+	// choreography, not an error.
+	Evicted uint64
 	// Active is the number of sessions being served right now.
 	Active int64
 }
@@ -136,6 +194,7 @@ type serverConfig struct {
 	state          *MarketState
 	backlog        int
 	flushEvery     time.Duration
+	directory      MarketDirectory
 }
 
 // WithWorkers bounds the session worker pool: at most n sessions bargain
@@ -273,6 +332,7 @@ type Server struct {
 	state   *MarketState
 
 	accepted, sessions, closed, failed, rejected, busy atomic.Uint64
+	redirected, evicted                                atomic.Uint64
 	active                                             atomic.Int64
 }
 
@@ -290,6 +350,54 @@ type market struct {
 	sessions  atomic.Uint64
 	imperfect atomic.Uint64
 	resumed   atomic.Uint64
+	active    atomic.Int64
+
+	// connMu guards the live-connection set an eviction severs. evicted
+	// flips once, under the same lock, so a handler that resolved the
+	// market just before Unregister either lands in conns (and is severed)
+	// or observes evicted and backs off with a retryable busy.
+	connMu  sync.Mutex
+	conns   map[net.Conn]struct{}
+	evicted bool
+}
+
+// track registers a live connection with the market so an eviction can
+// sever it. Returns false when the market has already been evicted: the
+// caller answers with a retryable busy, and the client's redial lands on
+// the directory's redirect to the new owner.
+func (m *market) track(conn net.Conn) bool {
+	m.connMu.Lock()
+	defer m.connMu.Unlock()
+	if m.evicted {
+		return false
+	}
+	if m.conns == nil {
+		m.conns = make(map[net.Conn]struct{})
+	}
+	m.conns[conn] = struct{}{}
+	return true
+}
+
+func (m *market) untrack(conn net.Conn) {
+	m.connMu.Lock()
+	delete(m.conns, conn)
+	m.connMu.Unlock()
+}
+
+// evict marks the market evicted and severs every tracked connection.
+func (m *market) evict() {
+	m.connMu.Lock()
+	defer m.connMu.Unlock()
+	m.evicted = true
+	for c := range m.conns {
+		c.Close()
+	}
+}
+
+func (m *market) isEvicted() bool {
+	m.connMu.Lock()
+	defer m.connMu.Unlock()
+	return m.evicted
 }
 
 // NewServer builds an empty multi-market server. Register at least one
@@ -471,13 +579,15 @@ func (s *Server) Markets() []string {
 // Metrics returns a snapshot of the server's counters.
 func (s *Server) Metrics() ServerMetrics {
 	return ServerMetrics{
-		Accepted: s.accepted.Load(),
-		Sessions: s.sessions.Load(),
-		Closed:   s.closed.Load(),
-		Failed:   s.failed.Load(),
-		Rejected: s.rejected.Load(),
-		Busy:     s.busy.Load(),
-		Active:   s.active.Load(),
+		Accepted:   s.accepted.Load(),
+		Sessions:   s.sessions.Load(),
+		Closed:     s.closed.Load(),
+		Failed:     s.failed.Load(),
+		Rejected:   s.rejected.Load(),
+		Busy:       s.busy.Load(),
+		Redirected: s.redirected.Load(),
+		Evicted:    s.evicted.Load(),
+		Active:     s.active.Load(),
 	}
 }
 
@@ -500,6 +610,7 @@ func (s *Server) MarketMetrics() map[string]MarketMetrics {
 			OracleCoalesced:   os.Coalesced,
 			OracleRestored:    os.Restored,
 			ResumedSessions:   m.resumed.Load(),
+			ActiveSessions:    m.active.Load(),
 		}
 		if m.book != nil {
 			mm.CheckpointedClients = m.book.clientCount()
@@ -507,6 +618,89 @@ func (s *Server) MarketMetrics() map[string]MarketMetrics {
 		out[name] = mm
 	}
 	return out
+}
+
+// statsReport assembles the wire-level admin snapshot: server counters,
+// per-market counters, and — when the attached directory is versioned —
+// the shard-map epoch this shard is operating under.
+func (s *Server) statsReport() *wire.StatsReport {
+	sm := s.Metrics()
+	rep := &wire.StatsReport{
+		Server: wire.ServerStats{
+			Accepted:   sm.Accepted,
+			Sessions:   sm.Sessions,
+			Closed:     sm.Closed,
+			Failed:     sm.Failed,
+			Rejected:   sm.Rejected,
+			Busy:       sm.Busy,
+			Redirected: sm.Redirected,
+			Evicted:    sm.Evicted,
+			Active:     sm.Active,
+		},
+		Markets: make(map[string]wire.MarketStats),
+	}
+	for name, mm := range s.MarketMetrics() {
+		rep.Markets[name] = wire.MarketStats{
+			Sessions:            mm.Sessions,
+			ImperfectSessions:   mm.ImperfectSessions,
+			ResumedSessions:     mm.ResumedSessions,
+			ActiveSessions:      mm.ActiveSessions,
+			OracleTrainings:     mm.OracleTrainings,
+			OracleCachedGains:   mm.OracleCachedGains,
+			OracleHits:          mm.OracleHits,
+			OracleCoalesced:     mm.OracleCoalesced,
+			OracleRestored:      mm.OracleRestored,
+			CheckpointedClients: mm.CheckpointedClients,
+		}
+	}
+	if ep, ok := s.cfg.directory.(interface{ Epoch() uint64 }); ok {
+		rep.Epoch = ep.Epoch()
+	}
+	return rep
+}
+
+// Unregister removes a named market from the server: the source half of a
+// fabric migration. The market disappears from the registry first (new
+// helloes for it consult the directory and redirect or back off), its live
+// sessions are severed — counted as Evicted, not Failed; their clients
+// auto-resume against the new owner — and once the last handler drains,
+// the market's durable state is flushed so the destination shard opens on
+// the final settled checkpoint. The engine is NOT closed: it may be handed
+// to another server (in-process shards sharing a process) or garbage
+// collected.
+func (s *Server) Unregister(name string) error {
+	s.mu.Lock()
+	mkt := s.markets[name]
+	if mkt == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("vflmarket: unknown market %q", name)
+	}
+	delete(s.markets, name)
+	for i, n := range s.order {
+		if n == name {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+
+	mkt.evict()
+	// Severed handlers unwind fast (their conns are closed), but the flush
+	// below must not race a final checkpoint write, so wait for the last
+	// one — bounded, because a wedged handler is already bounded by the IO
+	// timeout.
+	deadline := time.Now().Add(s.cfg.ioTimeout + time.Second)
+	for mkt.active.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if mkt.stopPrime != nil {
+		mkt.stopPrime()
+	}
+	mkt.ds.Close()
+	if n := mkt.active.Load(); n > 0 {
+		return fmt.Errorf("vflmarket: market %q still has %d active sessions after eviction", name, n)
+	}
+	return s.FlushState()
 }
 
 // Serve accepts connections on the listener and bargains with each across
@@ -519,7 +713,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if len(s.Markets()) == 0 {
+	// A standalone server with nothing registered is a misconfiguration; a
+	// fabric shard legitimately serves empty — markets land on it later
+	// (boot-time assignment, incoming migrations) and its directory
+	// redirects everything else meanwhile.
+	if len(s.Markets()) == 0 && s.cfg.directory == nil {
 		ln.Close()
 		return fmt.Errorf("vflmarket: serve with no registered markets")
 	}
@@ -687,6 +885,15 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 
+	// Admin read: a stats-only hello gets the metrics snapshot and closes.
+	// No market resolution, no session — the rebalancer's periodic poll
+	// must stay cheap and must work even when every market is mid-move.
+	if ch.StatsOnly {
+		_ = codec.Send(&wire.Envelope{Kind: wire.KindStats, Stats: s.statsReport()})
+		notify("", nil, nil)
+		return
+	}
+
 	// Resolve the information regime the client asked for. Imperfect
 	// sessions train on realized gains, which must cross in clear, so a
 	// Paillier-settling server serves the perfect regime only.
@@ -726,12 +933,59 @@ func (s *Server) handle(conn net.Conn) {
 	markets := append([]string(nil), s.order...)
 	s.mu.RUnlock()
 	if mkt == nil {
+		// A directory-attached shard knows where markets it does not serve
+		// live: answer with the owner instead of a terminal rejection. While
+		// the directory reports the market mid-migration the answer is a
+		// retryable busy — the new owner is not serving yet, and the
+		// client's backoff loop bridges the gap.
+		if d := s.cfg.directory; d != nil && name != "" {
+			if rt, ok := d.Route(name); ok {
+				if rt.Moving || rt.Addr == "" {
+					s.busy.Add(1)
+					err := fmt.Errorf("vflmarket: market %q is migrating; retry shortly", name)
+					if ch.Version >= 4 {
+						wire.SendBusy(codec, "%v", err)
+					} else {
+						wire.SendError(codec, "%v", err)
+					}
+					notify(name, nil, err)
+					return
+				}
+				s.redirected.Add(1)
+				rerr := &wire.RedirectError{Market: name, Addr: rt.Addr, Epoch: rt.Epoch}
+				if ch.Version >= 5 {
+					wire.SendRedirect(codec, &wire.Redirect{Market: name, Addr: rt.Addr, Epoch: rt.Epoch})
+				} else {
+					// Pre-v5 clients cannot follow a redirect envelope; name
+					// the owner in the error so the operator can re-point them.
+					wire.SendError(codec, "vflmarket: market %q is served at %s", name, rt.Addr)
+				}
+				notify(name, nil, rerr)
+				return
+			}
+		}
 		s.rejected.Add(1)
 		err := fmt.Errorf("vflmarket: unknown market %q (serving %v)", ch.Market, markets)
 		wire.SendError(codec, "%v", err)
 		notify("", nil, err)
 		return
 	}
+
+	// From here the connection is the market's: register it with the
+	// market so a migration can sever it. A market evicted between lookup
+	// and here answers busy — the redial after backoff gets the redirect.
+	if !mkt.track(conn) {
+		s.busy.Add(1)
+		err := fmt.Errorf("vflmarket: market %q is migrating; retry shortly", name)
+		if ch.Version >= 4 {
+			wire.SendBusy(codec, "%v", err)
+		} else {
+			wire.SendError(codec, "%v", err)
+		}
+		notify(name, nil, err)
+		return
+	}
+	defer mkt.untrack(conn)
 
 	// Protocol v3 hardening: the handshake's work factors are client
 	// input, so an abusive hello (exploration rounds or replay budget over
@@ -779,6 +1033,7 @@ func (s *Server) handle(conn net.Conn) {
 	s.sessions.Add(1)
 	mkt.sessions.Add(1)
 	s.active.Add(1)
+	mkt.active.Add(1)
 	var sum *SessionSummary
 	var serr error
 	if mode == wire.ModeImperfect {
@@ -790,8 +1045,13 @@ func (s *Server) handle(conn net.Conn) {
 	} else {
 		sum, serr = mkt.ds.ServeCodec(codec, hello)
 	}
+	mkt.active.Add(-1)
 	s.active.Add(-1)
 	switch {
+	case serr != nil && mkt.isEvicted():
+		// The migration severed this session, the client resumes on the new
+		// owner: fabric choreography, not a failure.
+		s.evicted.Add(1)
 	case serr != nil:
 		s.failed.Add(1)
 	case sum != nil && sum.Closed:
