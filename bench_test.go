@@ -11,11 +11,13 @@ import (
 	crand "crypto/rand"
 	"net"
 	"strconv"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/exp"
+	"repro/internal/rng"
 	"repro/internal/secure"
 	"repro/internal/tree"
 	"repro/internal/vfl"
@@ -349,6 +351,7 @@ func BenchmarkServiceRoundTrip(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := client.Bargain(context.Background(), BargainOptions{Seed: uint64(i + 1)})
@@ -359,6 +362,106 @@ func BenchmarkServiceRoundTrip(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkBatchOverWire measures a batch of 8 deterministic sessions
+// through the v6 fast wire, the networked analogue of
+// BenchmarkBargainBatch and the transport behind EXPERIMENTS.md Table 4:
+//
+//   - mux-1conn:        all 8 sessions multiplexed over ONE warm TCP
+//     connection (WithConnsPerAddr(1)).
+//   - pooled-8conns:    the same batch spread across a pool of 8 warm
+//     connections — isolates mux framing overhead from TCP fan-out.
+//   - dial-per-session: the v5 regime — every session pays its own dial
+//     and handshake, 8 concurrent goroutines.
+//
+// The mux-1conn vs dial-per-session gap is the tentpole win: session
+// setup collapses from (probe dial + session dial + handshake) x 8 to a
+// stream-open envelope on an already-handshaked connection. The sessions
+// use a small candidate-price pool so they close in a few rounds —
+// this benchmark prices the transport, not the game (that is
+// BenchmarkServiceRoundTrip's job). Allocations are reported; together
+// with BenchmarkServiceRoundTrip this anchors the perf trajectory in
+// BENCH_PR8.json.
+func BenchmarkBatchOverWire(b *testing.B) {
+	engine, err := NewEngine("titanic", WithSynthetic(true), WithScale(0.25), WithSeed(11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	session := engine.Session()
+	session.PriceSamples = 30
+	srv := NewServer(WithWorkers(8))
+	if err := srv.Register("titanic", engine); err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	defer func() { cancel(); <-done }()
+	addr := ln.Addr().String()
+
+	const sessions = 8
+	specs := make([]BatchSpec, sessions)
+
+	for _, bc := range []struct {
+		name  string
+		conns int
+	}{{"mux-1conn", 1}, {"pooled-8conns", sessions}} {
+		b.Run(bc.name, func(b *testing.B) {
+			client, err := Dial(context.Background(), addr,
+				WithConnsPerAddr(bc.conns),
+				WithSession(session),
+				WithGains(engine.CatalogGains()),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.BargainBatch(context.Background(), specs,
+					BatchOptions{Workers: sessions, Seed: uint64(i + 1)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	b.Run("dial-per-session", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			errs := make([]error, sessions)
+			for j := 0; j < sessions; j++ {
+				wg.Add(1)
+				go func(j int) {
+					defer wg.Done()
+					client, err := Dial(context.Background(), addr,
+						WithSession(session),
+						WithGains(engine.CatalogGains()),
+					)
+					if err != nil {
+						errs[j] = err
+						return
+					}
+					defer client.Close()
+					seed := rng.DeriveSeed(uint64(i+1), uint64(j))
+					_, errs[j] = client.Bargain(context.Background(), BargainOptions{Seed: seed})
+				}(j)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkSecureSettlement measures the §3.6 settlement round — the
@@ -522,6 +625,7 @@ func BenchmarkImperfectServiceRoundTrip(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := client.BargainImperfect(context.Background(), BargainOptions{Seed: uint64(i + 1)}); err != nil {

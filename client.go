@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/rng"
 	"repro/internal/secure"
 	"repro/internal/wire"
 )
@@ -20,16 +21,17 @@ import (
 type DialOption func(*dialConfig)
 
 type dialConfig struct {
-	codec       string
-	market      string
-	dialTimeout time.Duration
-	ioTimeout   time.Duration
-	session     *SessionConfig
-	gains       GainProvider
-	imperfect   *ImperfectParams
-	noisePool   int
-	identity    string
-	backoff     ResumeBackoff
+	codec        string
+	market       string
+	dialTimeout  time.Duration
+	ioTimeout    time.Duration
+	session      *SessionConfig
+	gains        GainProvider
+	imperfect    *ImperfectParams
+	noisePool    int
+	identity     string
+	backoff      ResumeBackoff
+	connsPerAddr int
 }
 
 // ResumeBackoff is the auto-resume redial policy for identified imperfect
@@ -112,12 +114,28 @@ func WithDialTimeout(d time.Duration) DialOption { return func(c *dialConfig) { 
 
 // WithSessionTimeout bounds every read and write within a session: a
 // stalled server fails the session with an ErrPeerTimeout-wrapped error
-// instead of hanging it. The default is 30 seconds; <= 0 keeps the
-// default.
+// instead of hanging it. On the multiplexed wire the bound is a
+// per-session receive timer, so one stalled session cannot stall its
+// siblings on the same connection. The default is 30 seconds; <= 0 keeps
+// the default.
 func WithSessionTimeout(d time.Duration) DialOption {
 	return func(c *dialConfig) {
 		if d > 0 {
 			c.ioTimeout = d
+		}
+	}
+}
+
+// WithConnsPerAddr sets how many warm multiplexed connections the client
+// keeps per server address. Sessions are spread across the pool
+// least-loaded-first, and the pool only grows when every pooled connection
+// is in use up to the cap. 1 (the default) funnels all concurrent sessions
+// through a single connection; raise it when many concurrent sessions
+// saturate one connection's framing throughput. n <= 0 keeps the default.
+func WithConnsPerAddr(n int) DialOption {
+	return func(c *dialConfig) {
+		if n > 0 {
+			c.connsPerAddr = n
 		}
 	}
 }
@@ -149,11 +167,13 @@ func WithImperfect(p ImperfectParams) DialOption {
 // to 64 characters of [A-Za-z0-9_-]. Against a state-bound server, the
 // identity keys the server-side estimator checkpoints, which buys the
 // client automatic session resume — if the connection (or the server)
-// dies mid-game, BargainImperfect redials with the last acknowledged
+// dies mid-game, BargainImperfect retries with the last acknowledged
 // round and both endpoints continue from their checkpoints, bit-identical
 // to an uninterrupted run, instead of re-exploring from round one. The
 // identity should be unique per concurrent session: two live sessions
 // sharing one identity overwrite each other's checkpoints.
+// BargainImperfectBatch derives a distinct identity per spec ("<id>-<i>")
+// for exactly that reason.
 func WithIdentity(id string) DialOption { return func(c *dialConfig) { c.identity = id } }
 
 // WithClientNoisePool sizes the client's pool of precomputed Paillier
@@ -170,20 +190,26 @@ func WithClientNoisePool(n int) DialOption {
 }
 
 // Client is the task party's connection point to a market Server. A Client
-// is cheap, immutable and safe for concurrent use: every Bargain call
-// dials its own connection and runs one full session on it, mirroring
-// Engine.Bargain's contract (options merging over the template session,
-// observers, cancellation between rounds) over the network.
+// is safe for concurrent use: it keeps a pool of warm multiplexed
+// connections (one per server address by default, WithConnsPerAddr for
+// more) and every Bargain call opens one session stream over a pooled
+// connection — dialing and handshaking happen once per connection, not per
+// session. The session itself mirrors Engine.Bargain's contract exactly
+// (options merging over the template session, observers, cancellation
+// between rounds) over the network.
 type Client struct {
 	cfg   dialConfig
 	hello *wire.Hello
 	noise *secure.NoiseSource
 
-	// mu guards addr: against a sharded fabric the client learns the
-	// market's current home from redirect answers and re-points itself, so
-	// concurrent Bargain calls must read a coherent address.
-	mu   sync.Mutex
-	addr string
+	// mu guards addr and the connection pool: against a sharded fabric the
+	// client learns the market's current home from redirect answers and
+	// re-points itself, so concurrent Bargain calls must read a coherent
+	// address and share the warm connections at it.
+	mu      sync.Mutex
+	addr    string
+	pool    map[string][]*wire.MuxConn
+	pending map[string]int // in-flight dials per addr, so racing callers don't overshoot the pool cap
 }
 
 // Addr returns the address the client currently dials — the Dial address
@@ -200,56 +226,63 @@ func (c *Client) setAddr(addr string) {
 	c.mu.Unlock()
 }
 
-// Dial validates the service at addr and returns a Client bound to it: it
-// connects once in listing mode to fetch the server's markets, bundle
-// listing, and settlement mode (failing fast on unknown markets or codec
-// mismatches), then disconnects. Subsequent Bargain calls dial per
-// session.
+// Dial connects to the service at addr and returns a Client bound to it:
+// one TCP connection, whose multiplexed handshake doubles as the listing
+// probe — the server's markets, bundle listing, and settlement mode come
+// back on the connection-level Hello (failing fast on unknown markets or
+// codec mismatches), and the handshaked connection stays warm in the
+// client's pool for the sessions that follow.
 func Dial(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	cfg := dialConfig{codec: CodecGob, ioTimeout: 30 * time.Second}
+	cfg := dialConfig{codec: CodecGob, ioTimeout: 30 * time.Second, connsPerAddr: 1}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	if err := wire.ValidateClientID(cfg.identity); err != nil {
 		return nil, fmt.Errorf("vflmarket: %w", err)
 	}
-	c := &Client{addr: addr, cfg: cfg}
-	hello, err := c.probe(ctx)
+	c := &Client{
+		addr:    addr,
+		cfg:     cfg,
+		pool:    make(map[string][]*wire.MuxConn),
+		pending: make(map[string]int),
+	}
+	mc, err := c.connectMux(ctx)
 	if err != nil {
 		return nil, err
 	}
-	c.hello = hello
+	c.hello = mc.Hello()
 	// Against a Paillier-settling server, start the shared randomizer pool
 	// for its key: every session's settlement encryptions draw from it, so
 	// steady-state secure settlement costs one mulmod per round.
-	if hello.Secure && cfg.noisePool >= 0 && len(hello.PubN) > 0 {
-		pk := secure.NewPublicKey(new(big.Int).SetBytes(hello.PubN))
+	if c.hello.Secure && cfg.noisePool >= 0 && len(c.hello.PubN) > 0 {
+		pk := secure.NewPublicKey(new(big.Int).SetBytes(c.hello.PubN))
 		c.noise = secure.NewNoiseSource(pk, cfg.noisePool, 0, rand.Reader)
 	}
 	return c, nil
 }
 
-// Close releases the client's background resources (the secure-settlement
-// randomizer pool, when the server settles under Paillier). Bargaining
-// after Close still works — settlements fall back to inline encryption
-// once the pool drains. Close is safe on every client, secure or not.
+// Close releases the client's background resources: the warm connection
+// pool and the secure-settlement randomizer pool (when the server settles
+// under Paillier). Bargaining after Close still works — the next session
+// dials and pools a fresh connection — so Close is safe to call between
+// bursts as well as at the end.
 func (c *Client) Close() {
+	c.mu.Lock()
+	var conns []*wire.MuxConn
+	for _, l := range c.pool {
+		conns = append(conns, l...)
+	}
+	c.pool = make(map[string][]*wire.MuxConn)
+	c.mu.Unlock()
+	for _, mc := range conns {
+		mc.Close()
+	}
 	if c.noise != nil {
 		c.noise.Close()
 	}
-}
-
-// probe runs one listing-only handshake.
-func (c *Client) probe(ctx context.Context) (*wire.Hello, error) {
-	conn, _, hello, err := c.connect(ctx, wire.ClientHello{Market: c.cfg.market, ListOnly: true})
-	if err != nil {
-		return nil, err
-	}
-	conn.Close()
-	return hello, nil
 }
 
 // maxRedirectHops bounds one connection attempt's redirect chain. A
@@ -257,63 +290,152 @@ func (c *Client) probe(ctx context.Context) (*wire.Hello, error) {
 // misconfigured directory that points shards at each other.
 const maxRedirectHops = 8
 
-// connect dials the client's current address and performs the handshake,
-// transparently following shard redirects: a fabric shard that does not
-// own the requested market answers with its owner's address, and the
-// client re-dials there and remembers the address for subsequent sessions.
-func (c *Client) connect(ctx context.Context, hs wire.ClientHello) (net.Conn, wire.Codec, *wire.Hello, error) {
-	addr := c.Addr()
-	for hop := 0; ; hop++ {
-		conn, err := c.dialAddr(ctx, addr)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		// Poking the deadline on cancellation unblocks the handshake read.
-		stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
-		codec, hello, err := wire.ClientHandshake(wire.WithIOTimeout(conn, c.cfg.ioTimeout), c.cfg.codec, hs)
-		stop()
-		if err == nil {
-			c.setAddr(addr)
-			return conn, codec, hello, nil
-		}
-		conn.Close()
-		var rd *wire.RedirectError
-		if !errors.As(err, &rd) || rd.Addr == "" || hop >= maxRedirectHops {
-			return nil, nil, nil, err
-		}
-		addr = rd.Addr
-	}
-}
-
-func (c *Client) dialAddr(ctx context.Context, addr string) (net.Conn, error) {
+// dialMux dials addr and performs the multiplexed handshake, carrying the
+// client's market as the connection-level routing hint. The server's
+// Hello (the listing probe) is retained on the returned connection.
+func (c *Client) dialMux(ctx context.Context, addr string) (*wire.MuxConn, error) {
 	d := net.Dialer{Timeout: c.cfg.dialTimeout}
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("vflmarket: dial %s: %w", addr, err)
 	}
-	return conn, nil
+	// Poking the deadline on cancellation unblocks the handshake read.
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
+	mc, _, err := wire.OpenMux(conn, c.cfg.codec, wire.ClientHello{Market: c.cfg.market, ListOnly: true}, c.cfg.ioTimeout)
+	stop()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return mc, nil
+}
+
+// muxFor returns a live pooled connection to addr, pruning dead ones and
+// dialing a fresh connection while the pool is under its per-address cap.
+// At the cap, sessions pile onto the least-loaded pooled connection.
+func (c *Client) muxFor(ctx context.Context, addr string) (*wire.MuxConn, error) {
+	c.mu.Lock()
+	live := c.pool[addr][:0]
+	for _, mc := range c.pool[addr] {
+		if mc.Err() != nil {
+			continue // fail() already closed the socket
+		}
+		live = append(live, mc)
+	}
+	c.pool[addr] = live
+	if len(live) > 0 && len(live)+c.pending[addr] >= c.cfg.connsPerAddr {
+		best := live[0]
+		for _, mc := range live[1:] {
+			if mc.Active() < best.Active() {
+				best = mc
+			}
+		}
+		c.mu.Unlock()
+		return best, nil
+	}
+	c.pending[addr]++
+	c.mu.Unlock()
+
+	mc, err := c.dialMux(ctx, addr)
+
+	c.mu.Lock()
+	c.pending[addr]--
+	if err == nil {
+		c.pool[addr] = append(c.pool[addr], mc)
+	}
+	c.mu.Unlock()
+	return mc, err
+}
+
+// dropConn evicts a dead connection from the pool and closes it.
+func (c *Client) dropConn(dead *wire.MuxConn) {
+	c.mu.Lock()
+	for addr, conns := range c.pool {
+		for i, mc := range conns {
+			if mc == dead {
+				c.pool[addr] = append(conns[:i], conns[i+1:]...)
+				break
+			}
+		}
+	}
+	c.mu.Unlock()
+	dead.Close()
+}
+
+// connectMux returns a warm connection to the client's current address,
+// transparently following shard redirects at the connection level: a
+// fabric shard that does not own the client's market answers the mux
+// handshake with its owner's address, and the client re-dials there and
+// remembers the address — populating the pool at the market's true home.
+func (c *Client) connectMux(ctx context.Context) (*wire.MuxConn, error) {
+	for hop := 0; ; hop++ {
+		mc, err := c.muxFor(ctx, c.Addr())
+		if err == nil {
+			return mc, nil
+		}
+		var rd *wire.RedirectError
+		if !errors.As(err, &rd) || rd.Addr == "" || hop >= maxRedirectHops {
+			return nil, err
+		}
+		c.setAddr(rd.Addr)
+	}
+}
+
+// openSession opens one session stream over a pooled connection, following
+// session-level redirects (the market migrated after the connection
+// handshook) and retrying once on a fresh connection when a pooled one
+// turns out to have died since it was last used.
+func (c *Client) openSession(ctx context.Context, hs wire.ClientHello) (*wire.MuxSession, *wire.Hello, error) {
+	redialed := false
+	for hop := 0; ; {
+		mc, err := c.connectMux(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		s, hello, err := mc.Open(ctx, hs, c.cfg.ioTimeout)
+		if err == nil {
+			return s, hello, nil
+		}
+		if mc.Err() != nil && !redialed {
+			// The pooled connection died idle (server restart, network cut);
+			// one retry lands on a freshly dialed replacement.
+			redialed = true
+			c.dropConn(mc)
+			continue
+		}
+		var rd *wire.RedirectError
+		if errors.As(err, &rd) && rd.Addr != "" && hop < maxRedirectHops {
+			hop++
+			c.setAddr(rd.Addr)
+			continue
+		}
+		return nil, nil, err
+	}
 }
 
 // Stats fetches the server's admin metrics snapshot — server counters,
 // per-market counters, and the shard-map epoch on fabric shards — over a
-// one-shot stats-only handshake. The fabric's rebalancer reads shards
-// exactly this way.
+// stats stream on a pooled connection; no extra dial. The fabric's
+// rebalancer reads shards the same way on its own fresh connections.
 func (c *Client) Stats(ctx context.Context) (*StatsReport, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	conn, err := c.dialAddr(ctx, c.Addr())
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
-	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
-	defer stop()
-	rep, err := wire.FetchStats(conn, c.cfg.codec, c.cfg.ioTimeout)
-	if err != nil {
+	for attempt := 0; ; attempt++ {
+		mc, err := c.connectMux(ctx)
+		if err != nil {
+			return nil, wrapCtx(ctx, err)
+		}
+		rep, err := mc.Stats(ctx, c.cfg.ioTimeout)
+		if err == nil {
+			return rep, nil
+		}
+		if mc.Err() != nil && attempt == 0 {
+			c.dropConn(mc)
+			continue
+		}
 		return nil, wrapCtx(ctx, err)
 	}
-	return rep, nil
 }
 
 // Market returns the resolved market name this client bargains in.
@@ -390,6 +512,14 @@ func (c *Client) BargainImperfect(ctx context.Context, opts BargainOptions) (*Im
 // Engine.BargainImperfectWith. gains may be nil when the Client was dialed
 // with WithGains.
 func (c *Client) BargainImperfectWith(ctx context.Context, cfg SessionConfig, params ImperfectParams, gains GainProvider, obs ...RoundObserver) (*ImperfectResult, error) {
+	return c.bargainImperfect(ctx, cfg, params, gains, c.cfg.identity, obs)
+}
+
+// bargainImperfect is the shared imperfect-session driver behind
+// BargainImperfectWith and BargainImperfectBatch: one auto-resume loop
+// over session streams opened on pooled connections, under the given
+// identity.
+func (c *Client) bargainImperfect(ctx context.Context, cfg SessionConfig, params ImperfectParams, gains GainProvider, identity string, obs []RoundObserver) (*ImperfectResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -405,18 +535,22 @@ func (c *Client) BargainImperfectWith(ctx context.Context, cfg SessionConfig, pa
 			Target:            cfg.TargetGain,
 			ExplorationRounds: params.ExplorationRounds,
 			ReplaySteps:       params.ReplaySteps,
-			ClientID:          c.cfg.identity,
+			ClientID:          identity,
 		},
 	}
 	// An identified client bargains under the auto-resume policy: every
 	// settled round checkpoints the buyer's estimator, and a transport
-	// failure redials presenting the last acknowledged round, so the session
-	// continues from its checkpoints instead of starting over. Without an
-	// identity a failure surfaces immediately, as before. The waits between
-	// redials follow the (configurable) capped-exponential schedule.
+	// failure retries presenting the last acknowledged round, so the
+	// session continues from its checkpoints instead of starting over.
+	// Without an identity a failure surfaces immediately, as before. The
+	// waits between attempts follow the (configurable) capped-exponential
+	// schedule. A retry reuses the pooled warm connection when it survived
+	// the failure (a per-session eviction severs only the stream) and
+	// dials a replacement only when the connection itself died — resume no
+	// longer pays a dial and handshake unless it must.
 	bo := c.cfg.backoff.withDefaults()
 	attempts := 1
-	if c.cfg.identity != "" {
+	if identity != "" {
 		attempts = bo.Attempts
 	}
 	var res *ImperfectResult
@@ -477,9 +611,96 @@ func (c *Client) BargainWith(ctx context.Context, cfg SessionConfig, gains GainP
 	return res, nil
 }
 
-// withSession dials, performs the handshake with the given ClientHello,
-// and runs one session body over the negotiated codec — the connection
-// lifecycle shared by both information regimes.
+// BargainBatch plays one perfect-information session per spec across a
+// bounded worker pool, every session a stream over the client's pooled
+// multiplexed connections, and returns the results in spec order. It is
+// the wire mirror of Engine.BargainBatch, with the identical
+// seed-derivation convention: a spec with neither a Seed nor a seeded
+// Session plays on a seed derived from BatchOptions.Seed and the spec's
+// index — so against a mirrored server the result slice is bit-identical
+// to the in-process batch, no matter how many connections the sessions
+// multiplexed over.
+//
+// The first session error — including ctx cancellation, checked between
+// rounds of every in-flight session — abandons the rest of the batch;
+// unfinished slots are left nil and the error is returned alongside the
+// partial results.
+func (c *Client) BargainBatch(ctx context.Context, specs []BatchSpec, opts BatchOptions) ([]*Result, error) {
+	results := make([]*Result, len(specs))
+	err := core.ForEach(ctx, len(specs), opts.Workers, func(ctx context.Context, i int) error {
+		cfg, err := c.batchConfig(specs[i], opts, i)
+		if err != nil {
+			return err
+		}
+		res, err := c.BargainWith(ctx, cfg, c.cfg.gains, specs[i].Observer)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	return results, err
+}
+
+// BargainImperfectBatch plays one imperfect-information session per spec
+// across a bounded worker pool over the pooled connections, mirroring a
+// loop of Engine.BargainImperfectWith calls under BargainBatch's
+// seed-derivation convention. The regime knobs come from WithImperfect
+// (paper defaults otherwise). When the client was dialed with an identity,
+// each spec bargains as "<identity>-<i>" so concurrent sessions keep
+// distinct server-side checkpoints and the auto-resume policy covers every
+// session of the batch independently.
+func (c *Client) BargainImperfectBatch(ctx context.Context, specs []BatchSpec, opts BatchOptions) ([]*ImperfectResult, error) {
+	var params ImperfectParams
+	if c.cfg.imperfect != nil {
+		params = *c.cfg.imperfect
+	}
+	results := make([]*ImperfectResult, len(specs))
+	err := core.ForEach(ctx, len(specs), opts.Workers, func(ctx context.Context, i int) error {
+		cfg, err := c.batchConfig(specs[i], opts, i)
+		if err != nil {
+			return err
+		}
+		identity := c.cfg.identity
+		if identity != "" {
+			identity = fmt.Sprintf("%s-%d", identity, i)
+		}
+		res, err := c.bargainImperfect(ctx, cfg, params, c.cfg.gains, identity, []RoundObserver{specs[i].Observer})
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	return results, err
+}
+
+// batchConfig resolves one batch spec against the dial template under the
+// exact seed convention of Engine.batchJobs, so a client batch and an
+// engine batch with the same specs play the same sessions.
+func (c *Client) batchConfig(sp BatchSpec, opts BatchOptions, i int) (SessionConfig, error) {
+	var cfg SessionConfig
+	switch {
+	case sp.Session != nil:
+		cfg = *sp.Session
+	case c.cfg.session != nil:
+		cfg = *c.cfg.session
+	default:
+		return SessionConfig{}, fmt.Errorf("vflmarket: batch spec %d needs a session: Dial with WithSession or set BatchSpec.Session", i)
+	}
+	if seedIsSet(sp.Seed) {
+		cfg.Seed = sp.Seed
+	} else if !seedIsSet(cfg.Seed) {
+		cfg.Seed = rng.DeriveSeed(opts.Seed, uint64(i))
+	}
+	return cfg, nil
+}
+
+// withSession opens one session stream over a pooled connection and runs
+// one session body over it — the lifecycle shared by both information
+// regimes. A body that returns an error abandons the stream (the server's
+// end is cancelled without touching sibling sessions); a clean return
+// just flushes and unregisters it.
 func (c *Client) withSession(ctx context.Context, gains GainProvider, hs wire.ClientHello,
 	run func(ctx context.Context, tc *wire.TaskClient, codec wire.Codec, hello *wire.Hello) error,
 	cfg SessionConfig, obs []RoundObserver) error {
@@ -492,26 +713,21 @@ func (c *Client) withSession(ctx context.Context, gains GainProvider, hs wire.Cl
 	if gains == nil {
 		return fmt.Errorf("vflmarket: bargaining needs a gain provider: Dial with WithGains")
 	}
-	conn, codec, hello, err := c.connect(ctx, hs)
+	s, hello, err := c.openSession(ctx, hs)
 	if err != nil {
 		return wrapCtx(ctx, err)
 	}
-	defer conn.Close()
-	// Poking the deadline on cancellation unblocks any in-flight read, so
-	// the session's between-round ctx check fires promptly.
-	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
-	defer stop()
-
 	tc := &wire.TaskClient{Session: cfg, Gains: gains, Observers: toCoreObservers(obs), Noise: c.noise}
-	if err := run(ctx, tc, codec, hello); err != nil {
+	if err := run(ctx, tc, s, hello); err != nil {
+		s.Close()
 		return wrapCtx(ctx, err)
 	}
+	s.CloseClean()
 	return nil
 }
 
 // wrapCtx prefers the context's cause when a transport error was really a
-// cancellation (the deadline poke makes cancelled reads look like
-// timeouts).
+// cancellation (cancelled session receives surface as stream errors).
 func wrapCtx(ctx context.Context, err error) error {
 	if ctx.Err() != nil {
 		return fmt.Errorf("vflmarket: bargaining abandoned: %w", context.Cause(ctx))

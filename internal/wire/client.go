@@ -92,14 +92,20 @@ func (t *TaskClient) BargainImperfectCodec(ctx context.Context, c Codec, hello *
 		return nil, fmt.Errorf("wire: the imperfect regime needs cleartext settlement; the server settles under Paillier")
 	}
 	seller := &remoteSeller{
-		l:      link{c},
-		u:      t.Session.U,
-		target: t.Session.TargetGain,
-		ackMSE: true,
+		l:        link{c},
+		u:        t.Session.U,
+		target:   t.Session.TargetGain,
+		ackMSE:   true,
+		pipeline: hello.Version >= 6,
 	}
 	sess := core.NewSession(nil, t.Session).Observe(t.Observers...)
 	if t.Checkpoint != nil {
-		sess.OnCheckpoint(t.Checkpoint)
+		if seller.pipeline {
+			seller.sink = t.Checkpoint
+			sess.OnCheckpoint(seller.holdCheckpoint)
+		} else {
+			sess.OnCheckpoint(t.Checkpoint)
+		}
 	}
 	return sess.RunImperfectWith(ctx, params, seller, t.Gains)
 }
@@ -121,14 +127,20 @@ func (t *TaskClient) ResumeImperfectCodec(ctx context.Context, c Codec, hello *H
 		return nil, fmt.Errorf("wire: server confirmed resume through round %d, checkpoint is at round %d", hello.Resumed, ck.Round)
 	}
 	seller := &remoteSeller{
-		l:      link{c},
-		u:      t.Session.U,
-		target: t.Session.TargetGain,
-		ackMSE: true,
+		l:        link{c},
+		u:        t.Session.U,
+		target:   t.Session.TargetGain,
+		ackMSE:   true,
+		pipeline: hello.Version >= 6,
 	}
 	sess := core.NewSession(nil, t.Session).Observe(t.Observers...)
 	if t.Checkpoint != nil {
-		sess.OnCheckpoint(t.Checkpoint)
+		if seller.pipeline {
+			seller.sink = t.Checkpoint
+			sess.OnCheckpoint(seller.holdCheckpoint)
+		} else {
+			sess.OnCheckpoint(t.Checkpoint)
+		}
 	}
 	return sess.ResumeImperfectWith(ctx, params, ck, seller, t.Gains)
 }
@@ -137,8 +149,21 @@ func (t *TaskClient) ResumeImperfectCodec(ctx context.Context, c Codec, hello *H
 // Offer sends a Quote and waits for the server's bundle, each Settle
 // reports the decision (with the gain in clear, or the Eq. 2 payment under
 // Paillier), and Abandon is the clean walk-away notice. In imperfect mode
-// (ackMSE) every settlement additionally waits for the server's Ack and
-// collects its estimator MSE, implementing core.MSEReporter.
+// (ackMSE) every settlement additionally collects the server's Ack with its
+// estimator MSE, implementing core.MSEReporter.
+//
+// Against a v6 server (pipeline) the rounds are pipelined: a non-terminal
+// Settle returns without reading its Ack, the next Offer's Quote goes out
+// immediately (one buffered write with the Settle on the framed wire), and
+// the pending Ack is drained right before that Offer's reply — so a
+// steady-state round costs one RTT instead of two. The envelope sequence
+// on the wire is byte-identical to the serial protocol, which is what
+// keeps v4 resume and bit-identity intact: the server being "one round
+// ahead" at any cut point is exactly the state its checkpoint replay
+// machinery handles. The session checkpoint taken between a Settle and the
+// Ack drain is held back (holdCheckpoint) and completed with the drained
+// MSE before reaching the caller's sink, so a resumed run sees the same
+// checkpoint a serial run would have produced.
 type remoteSeller struct {
 	l        link
 	reporter *secure.TaskReporter
@@ -146,15 +171,75 @@ type remoteSeller struct {
 	target   float64
 	ackMSE   bool
 	mse      []float64
+
+	pipeline bool
+	ackWait  bool
+	held     *core.ImperfectCheckpoint
+	sink     func(*core.ImperfectCheckpoint)
+
+	// Send-path scratch, reused every round: the codec does not retain its
+	// argument past Send, and a session drives its seller from one
+	// goroutine, so the per-round Quote and Settle envelopes need no heap
+	// churn.
+	env    Envelope
+	quote  Quote
+	settle Settle
+}
+
+// sendScratch ships the scratch envelope, whole-struct-assigned first so no
+// stale payload pointer from a previous round survives.
+func (r *remoteSeller) sendScratch(e Envelope) error {
+	r.env = e
+	return r.l.send(&r.env)
+}
+
+// drainAck reads the settlement Ack a pipelined Settle left in flight,
+// completing the MSE series and releasing a held checkpoint.
+func (r *remoteSeller) drainAck() error {
+	e, err := r.l.recv(KindAck)
+	if err != nil {
+		return err
+	}
+	r.ackWait = false
+	r.mse = append(r.mse, e.Ack.DataMSE)
+	if ck := r.held; ck != nil {
+		r.held = nil
+		ck.DataMSE = append(ck.DataMSE, e.Ack.DataMSE)
+		if r.sink != nil {
+			r.sink(ck)
+		}
+	}
+	return nil
+}
+
+// holdCheckpoint is the session's OnCheckpoint hook under pipelining: a
+// checkpoint cut while an Ack is still in flight is missing that round's
+// MSE, so it waits for the drain. If the session dies before the drain the
+// checkpoint is never delivered — the caller resumes one round earlier and
+// the server-side replay covers the gap.
+func (r *remoteSeller) holdCheckpoint(ck *core.ImperfectCheckpoint) {
+	if r.ackWait {
+		r.held = ck
+		return
+	}
+	if r.sink != nil {
+		r.sink(ck)
+	}
 }
 
 func (r *remoteSeller) Offer(round int, q core.QuotedPrice) (core.SellerOffer, error) {
-	err := r.l.send(&Envelope{Kind: KindQuote, Quote: &Quote{
+	r.quote = Quote{
 		Round: round, Rate: q.Rate, Base: q.Base, High: q.High,
 		U: r.u, Target: r.target,
-	}})
+	}
+	err := r.sendScratch(Envelope{Kind: KindQuote, Quote: &r.quote})
 	if err != nil {
 		return core.SellerOffer{}, err
+	}
+	if r.ackWait {
+		if err := r.drainAck(); err != nil {
+			return core.SellerOffer{}, err
+		}
 	}
 	e, err := r.l.recv(KindOffer)
 	if err != nil {
@@ -169,31 +254,42 @@ func (r *remoteSeller) Offer(round int, q core.QuotedPrice) (core.SellerOffer, e
 }
 
 func (r *remoteSeller) Settle(round int, rec core.RoundRecord, d core.SettleDecision) error {
-	st := &Settle{Round: round, Decision: decisionOf(d)}
+	r.settle = Settle{Round: round, Decision: decisionOf(d)}
 	if r.reporter != nil {
 		rep, err := r.reporter.Report(rec.Price.Rate, rec.Price.Base, rec.Price.High, rec.Gain)
 		if err != nil {
 			return err
 		}
-		st.EncPayment = rep.EncPayment.C.Bytes()
+		r.settle.EncPayment = rep.EncPayment.C.Bytes()
 	} else {
-		st.Gain = rec.Gain
+		r.settle.Gain = rec.Gain
 	}
-	if err := r.l.send(&Envelope{Kind: KindSettle, Settle: st}); err != nil {
+	if err := r.sendScratch(Envelope{Kind: KindSettle, Settle: &r.settle}); err != nil {
 		return err
 	}
 	if r.ackMSE {
-		e, err := r.l.recv(KindAck)
-		if err != nil {
-			return err
+		if r.pipeline && d == core.SettleContinue {
+			// Leave the Ack in flight; the next Offer drains it together
+			// with its own reply.
+			r.ackWait = true
+			return nil
 		}
-		r.mse = append(r.mse, e.Ack.DataMSE)
+		return r.drainAck()
 	}
 	return nil
 }
 
 func (r *remoteSeller) Abandon(round int) error {
-	return r.l.send(&Envelope{Kind: KindSettle, Settle: &Settle{Round: round, Decision: DecisionFail}})
+	r.settle = Settle{Round: round, Decision: DecisionFail}
+	if err := r.sendScratch(Envelope{Kind: KindSettle, Settle: &r.settle}); err != nil {
+		return err
+	}
+	if r.ackWait {
+		// A pipelined Ack is still owed; collect it so the MSE series the
+		// session reads after the walk-away is complete.
+		return r.drainAck()
+	}
+	return nil
 }
 
 // DataMSE implements core.MSEReporter from the server's settlement

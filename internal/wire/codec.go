@@ -193,6 +193,8 @@ func payloadMissing(e *Envelope) bool {
 		return e.Ack == nil
 	case KindStats:
 		return e.Stats == nil
+	case KindOpen:
+		return e.Client == nil
 	default:
 		return false
 	}
@@ -241,22 +243,30 @@ func WithIOTimeout(conn net.Conn, d time.Duration) net.Conn {
 	return deadlineConn{Conn: conn, d: d}
 }
 
-// handshakeMagic opens every v5 connection, followed by the codec name and
-// a newline. Servers also accept the v4, v3 and v2 spellings from older
-// clients.
+// handshakeMagic opens every v6 connection, followed by the codec name, an
+// optional "mux" token (the v6 multiplexed-framing upgrade), and a newline.
+// Servers also accept the v5, v4, v3 and v2 spellings from older clients.
 const (
-	handshakeMagic   = "VFLM/5"
+	handshakeMagic   = "VFLM/6"
+	handshakeMagicV5 = "VFLM/5"
 	handshakeMagicV4 = "VFLM/4"
 	handshakeMagicV3 = "VFLM/3"
 	handshakeMagicV2 = "VFLM/2"
 )
 
+// muxToken is the third preamble field that upgrades a v6 connection to
+// multiplexed length-prefixed framing. It lives in the preamble — not in
+// the ClientHello — because both gob and JSON decoders read ahead of the
+// envelope they decode, so the framing discriminator must be consumed
+// before any codec touches the stream.
+const muxToken = "mux"
+
 // maxHandshakeLen bounds the preamble line so garbage connections fail
 // fast.
 const maxHandshakeLen = 64
 
-// WriteHandshake sends the v5 preamble naming the codec the client will
-// speak.
+// WriteHandshake sends the v6 serial preamble naming the codec the client
+// will speak.
 func WriteHandshake(w io.Writer, codecName string) error {
 	if _, err := fmt.Fprintf(w, "%s %s\n", handshakeMagic, codecName); err != nil {
 		return classify(fmt.Errorf("wire: handshake: %w", err))
@@ -264,20 +274,52 @@ func WriteHandshake(w io.Writer, codecName string) error {
 	return nil
 }
 
-// ReadHandshake consumes the v2–v5 preamble and returns the codec name the
-// client announced.
+// WriteMuxHandshake sends the v6 multiplexed preamble: after it, every
+// envelope on the connection travels in a length-prefixed frame and carries
+// a session ID.
+func WriteMuxHandshake(w io.Writer, codecName string) error {
+	if _, err := fmt.Fprintf(w, "%s %s %s\n", handshakeMagic, codecName, muxToken); err != nil {
+		return classify(fmt.Errorf("wire: handshake: %w", err))
+	}
+	return nil
+}
+
+// ReadHandshake consumes the v2–v6 serial preamble and returns the codec
+// name the client announced. Multiplexed preambles are rejected; endpoints
+// that accept both call AcceptHandshakeMux instead.
 func ReadHandshake(br *bufio.Reader) (codecName string, err error) {
+	name, mux, err := readHandshake(br)
+	if err != nil {
+		return "", err
+	}
+	if mux {
+		return "", fmt.Errorf("wire: handshake: mux preamble on a serial endpoint")
+	}
+	return name, nil
+}
+
+// readHandshake consumes the v2–v6 preamble: the codec name plus whether
+// the client asked for the v6 multiplexed framing upgrade.
+func readHandshake(br *bufio.Reader) (codecName string, mux bool, err error) {
 	line, err := readLine(br, maxHandshakeLen)
 	if err != nil {
-		return "", classify(fmt.Errorf("wire: handshake: %w", err))
+		return "", false, classify(fmt.Errorf("wire: handshake: %w", err))
 	}
 	fields := strings.Fields(line)
-	if len(fields) != 2 ||
-		(fields[0] != handshakeMagic && fields[0] != handshakeMagicV4 &&
-			fields[0] != handshakeMagicV3 && fields[0] != handshakeMagicV2) {
-		return "", fmt.Errorf("wire: handshake: bad preamble %q", line)
+	if len(fields) < 2 || len(fields) > 3 ||
+		(fields[0] != handshakeMagic && fields[0] != handshakeMagicV5 &&
+			fields[0] != handshakeMagicV4 && fields[0] != handshakeMagicV3 &&
+			fields[0] != handshakeMagicV2) {
+		return "", false, fmt.Errorf("wire: handshake: bad preamble %q", line)
 	}
-	return fields[1], nil
+	if len(fields) == 3 {
+		// Only the current version may ask for the mux upgrade.
+		if fields[2] != muxToken || fields[0] != handshakeMagic {
+			return "", false, fmt.Errorf("wire: handshake: bad preamble %q", line)
+		}
+		return fields[1], true, nil
+	}
+	return fields[1], false, nil
 }
 
 func readLine(br *bufio.Reader, max int) (string, error) {
@@ -298,7 +340,9 @@ func readLine(br *bufio.Reader, max int) (string, error) {
 // AcceptHandshake performs the server side of the v2 opening on a fresh
 // connection: read the preamble, build the codec, and receive the
 // ClientHello. The returned codec must be used for everything that
-// follows (its reader owns the connection's buffered bytes).
+// follows (its reader owns the connection's buffered bytes). Multiplexed
+// preambles are rejected; frontends that accept both call
+// AcceptHandshakeMux.
 func AcceptHandshake(conn net.Conn) (Codec, *ClientHello, error) {
 	br := bufio.NewReader(conn)
 	name, err := ReadHandshake(br)
@@ -314,6 +358,64 @@ func AcceptHandshake(conn net.Conn) (Codec, *ClientHello, error) {
 		return nil, nil, err
 	}
 	return c, e.Client, nil
+}
+
+// switchReader lets the accept path re-point the stream under an already
+// buffered bufio.Reader: the preamble is read through the per-op deadline
+// wrapper, and if the client asked for mux framing the underlying reader is
+// swapped to the raw connection (the mux reader manages its own deadlines;
+// per-read deadlines would kill idle pooled connections).
+type switchReader struct{ r io.Reader }
+
+func (s *switchReader) Read(p []byte) (int, error) { return s.r.Read(p) }
+
+// AcceptHandshakeMux performs the server side of the opening on a fresh
+// connection, accepting both the serial (v2–v6) and the multiplexed (v6)
+// preamble. For a serial client it behaves exactly like AcceptHandshake
+// over a per-op deadline wrapper. For a mux client it returns a framed
+// codec over the raw connection with mux=true; the caller hands the
+// connection to ServeMuxConn, which owns deadlines from then on. The hello
+// read itself is bounded by ioTimeout in both modes.
+func AcceptHandshakeMux(conn net.Conn, ioTimeout time.Duration) (Codec, *ClientHello, bool, error) {
+	tconn := WithIOTimeout(conn, ioTimeout)
+	sr := &switchReader{r: tconn}
+	br := frameReaderPool.Get().(*bufio.Reader)
+	br.Reset(sr)
+	name, mux, err := readHandshake(br)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if !mux {
+		c, err := NewCodec(name, br, tconn)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		e, err := link{c}.recv(KindClientHello)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		return c, e.Client, false, nil
+	}
+	sr.r = conn
+	if ioTimeout > 0 {
+		if err := conn.SetReadDeadline(time.Now().Add(ioTimeout)); err != nil {
+			return nil, nil, false, err
+		}
+	}
+	fc, err := newFramedCodec(name, br, conn)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	e, err := link{fc}.recv(KindClientHello)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if ioTimeout > 0 {
+		if err := conn.SetReadDeadline(time.Time{}); err != nil {
+			return nil, nil, false, err
+		}
+	}
+	return fc, e.Client, true, nil
 }
 
 // ClientHandshake performs the client side of the v3 opening: preamble,
@@ -339,10 +441,24 @@ func ClientHandshake(conn net.Conn, codecName string, ch ClientHello) (Codec, *H
 	return c, e.Hello, nil
 }
 
+// flusher is satisfied by codecs that buffer writes (the v6 framed codec).
+// Serial codecs write through and need no flushing.
+type flusher interface{ Flush() error }
+
+// Flush pushes any buffered frames of c to the connection. A no-op for
+// serial codecs.
+func Flush(c Codec) error {
+	if f, ok := c.(flusher); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
 // SendError sends a rejection envelope (best effort; the caller closes the
-// connection afterwards).
+// connection or session afterwards).
 func SendError(c Codec, format string, args ...any) {
 	_ = c.Send(&Envelope{Kind: KindError, Err: &ErrorMsg{Msg: fmt.Sprintf(format, args...)}})
+	_ = Flush(c)
 }
 
 // SendBusy sends the v4 admission-control rejection: the server's session
@@ -351,11 +467,14 @@ func SendError(c Codec, format string, args ...any) {
 // SendError.
 func SendBusy(c Codec, format string, args ...any) {
 	_ = c.Send(&Envelope{Kind: KindBusy, Err: &ErrorMsg{Msg: fmt.Sprintf(format, args...)}})
+	_ = Flush(c)
 }
 
 // SendRedirect sends the v5 shard-routing answer in place of the Hello:
 // the server does not own the market, and the client should redial Addr.
-// The connection closes after it. Best effort, like SendError.
+// The connection (or, on a mux conn, the session) closes after it. Best
+// effort, like SendError.
 func SendRedirect(c Codec, r *Redirect) {
 	_ = c.Send(&Envelope{Kind: KindRedirect, Redirect: r})
+	_ = Flush(c)
 }

@@ -48,14 +48,22 @@ import (
 )
 
 // ProtocolVersion is the current wire protocol version, carried in
-// ClientHello and echoed in Hello. v5 adds the sharded-fabric envelopes:
-// KindRedirect (a shard that no longer owns a market answers with the
-// current owner and shard-map epoch instead of an error) and KindStats
-// (the admin metrics snapshot rebalancers consume), plus
+// ClientHello and echoed in Hello. v6 is the fast-wire revision: the "mux"
+// handshake upgrades a connection to a multiplexed session fabric
+// (length-prefixed frames, envelopes carrying a session ID, KindOpen /
+// KindCancel to start and tear down individual sessions over one
+// connection), and v6 clients pipeline their rounds — Settle(n) and
+// Quote(n+1) leave in one write, the settlement Ack is read together with
+// the next Offer — so a steady-state imperfect round costs one RTT instead
+// of two. The envelope sequence per session is unchanged from v5, which is
+// what keeps resume and bit-identity intact. v5 added the sharded-fabric
+// envelopes: KindRedirect (a shard that no longer owns a market answers
+// with the current owner and shard-map epoch instead of an error) and
+// KindStats (the admin metrics snapshot rebalancers consume), plus
 // ClientHello.StatsOnly. v4 added session resume (client identity and
 // resume round in ImperfectHello, Resumed in Hello) and the KindBusy
-// admission-control envelope; v2–v4 clients are still accepted.
-const ProtocolVersion = 5
+// admission-control envelope; v2–v5 clients are still accepted.
+const ProtocolVersion = 6
 
 // Information regimes named in the handshake.
 const (
@@ -94,6 +102,17 @@ const (
 	// per-market load the fabric rebalancer plans transfers from — and
 	// closes.
 	KindStats
+	// KindOpen is the v6 mux session opener: a ClientHello carried inside
+	// the multiplexed stream, stamped with the fresh session ID every frame
+	// of the session will carry. The server answers on the same SID with a
+	// Hello (or a typed refusal: error, busy, redirect) and the session then
+	// speaks the ordinary envelope sequence.
+	KindOpen
+	// KindCancel is the v6 mux session teardown: the client abandons one
+	// session of a multiplexed connection without touching its siblings.
+	// Either side may also receive it for an already-finished SID, which is
+	// ignored.
+	KindCancel
 )
 
 // String implements fmt.Stringer.
@@ -119,6 +138,10 @@ func (k Kind) String() string {
 		return "redirect"
 	case KindStats:
 		return "stats"
+	case KindOpen:
+		return "open"
+	case KindCancel:
+		return "cancel"
 	default:
 		return "kind(" + strconv.Itoa(int(k)) + ")"
 	}
@@ -332,7 +355,11 @@ type StatsReport struct {
 
 // Envelope is the single wire frame.
 type Envelope struct {
-	Kind     Kind
+	Kind Kind
+	// SID is the session ID on v6 multiplexed connections: every frame of a
+	// muxed session carries the ID its KindOpen allocated, and the per-conn
+	// demux on both ends routes by it. 0 on serial (one-session) conns.
+	SID      uint64       `json:",omitempty"`
 	Hello    *Hello       `json:",omitempty"`
 	Quote    *Quote       `json:",omitempty"`
 	Offer    *Offer       `json:",omitempty"`

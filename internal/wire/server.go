@@ -587,6 +587,10 @@ func (s *DataServer) serve(l link, hello *Hello, a answerer, start int) (*Sessio
 	}
 
 	sum := &SessionSummary{BundleID: -1}
+	// Per-round send scratch: the codec does not retain its argument past
+	// Send, so one Offer and one envelope serve every round of the session.
+	var offer Offer
+	var oenv Envelope
 	// The buyer's target gain is constant for a session (v2+ sends it
 	// verbatim; a legacy quote's knee equals it under Eq. 5), so the
 	// closest-bundle hint is computed once and refreshed only if the
@@ -635,12 +639,13 @@ func (s *DataServer) serve(l link, hello *Hello, a answerer, start int) (*Sessio
 			}
 			so.TargetBundleID = targetBundle
 		}
-		offer := &Offer{
+		offer = Offer{
 			BundleID: so.BundleID, Features: so.Features,
 			Accept: so.Accept, Fail: so.Fail, Reason: so.Reason,
 			TargetBundleID: so.TargetBundleID,
 		}
-		if err := l.send(&Envelope{Kind: KindOffer, Offer: offer}); err != nil {
+		oenv = Envelope{Kind: KindOffer, Offer: &offer}
+		if err := l.send(&oenv); err != nil {
 			return sum, err
 		}
 		if offer.Fail {

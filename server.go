@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/rand"
 	"fmt"
+	"io"
 	"net"
 	"runtime"
 	"sync"
@@ -334,6 +335,14 @@ type Server struct {
 	accepted, sessions, closed, failed, rejected, busy atomic.Uint64
 	redirected, evicted                                atomic.Uint64
 	active                                             atomic.Int64
+
+	// muxMu guards the registry of live v6 multiplexed connections. Mux
+	// conns serve sessions on their own goroutines, off the worker pool —
+	// the per-conn session cap is their admission control — and Serve
+	// drains them at shutdown.
+	muxMu    sync.Mutex
+	muxConns map[*wire.MuxServerConn]struct{}
+	muxWG    sync.WaitGroup
 }
 
 // market is one registry entry: the wire endpoint, the engine behind it
@@ -352,39 +361,43 @@ type market struct {
 	resumed   atomic.Uint64
 	active    atomic.Int64
 
-	// connMu guards the live-connection set an eviction severs. evicted
+	// connMu guards the live-session set an eviction severs. evicted
 	// flips once, under the same lock, so a handler that resolved the
 	// market just before Unregister either lands in conns (and is severed)
-	// or observes evicted and backs off with a retryable busy.
+	// or observes evicted and backs off with a retryable busy. An entry is
+	// a whole net.Conn for a serial session, or a single wire.MuxStream for
+	// a session multiplexed onto a shared v6 connection — closing the
+	// stream severs exactly that session, so a migration never tears down
+	// sibling sessions of other markets riding the same conn.
 	connMu  sync.Mutex
-	conns   map[net.Conn]struct{}
+	conns   map[io.Closer]struct{}
 	evicted bool
 }
 
-// track registers a live connection with the market so an eviction can
-// sever it. Returns false when the market has already been evicted: the
-// caller answers with a retryable busy, and the client's redial lands on
-// the directory's redirect to the new owner.
-func (m *market) track(conn net.Conn) bool {
+// track registers a live session carrier (a conn, or one mux stream) with
+// the market so an eviction can sever it. Returns false when the market
+// has already been evicted: the caller answers with a retryable busy, and
+// the client's redial lands on the directory's redirect to the new owner.
+func (m *market) track(c io.Closer) bool {
 	m.connMu.Lock()
 	defer m.connMu.Unlock()
 	if m.evicted {
 		return false
 	}
 	if m.conns == nil {
-		m.conns = make(map[net.Conn]struct{})
+		m.conns = make(map[io.Closer]struct{})
 	}
-	m.conns[conn] = struct{}{}
+	m.conns[c] = struct{}{}
 	return true
 }
 
-func (m *market) untrack(conn net.Conn) {
+func (m *market) untrack(c io.Closer) {
 	m.connMu.Lock()
-	delete(m.conns, conn)
+	delete(m.conns, c)
 	m.connMu.Unlock()
 }
 
-// evict marks the market evicted and severs every tracked connection.
+// evict marks the market evicted and severs every tracked session.
 func (m *market) evict() {
 	m.connMu.Lock()
 	defer m.connMu.Unlock()
@@ -805,6 +818,15 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	}
 	close(conns)
 	wg.Wait()
+	// Multiplexed connections serve sessions off the worker pool; drain
+	// them symmetrically — no new session opens, in-flight ones finish
+	// (each bounded by its per-stream IO timer), idle conns close now.
+	s.muxMu.Lock()
+	for sc := range s.muxConns {
+		sc.Drain()
+	}
+	s.muxMu.Unlock()
+	s.muxWG.Wait()
 	if flushDone != nil {
 		<-flushDone
 	}
@@ -842,8 +864,7 @@ func (s *Server) rejectBusy(conn net.Conn) {
 		remote = addr.String()
 	}
 	busyErr := fmt.Errorf("vflmarket: session pool saturated; retry later")
-	tconn := wire.WithIOTimeout(conn, s.cfg.ioTimeout)
-	codec, ch, err := wire.AcceptHandshake(tconn)
+	codec, ch, _, err := wire.AcceptHandshakeMux(conn, s.cfg.ioTimeout)
 	if err == nil {
 		if ch.Version >= 4 {
 			wire.SendBusy(codec, "%v", busyErr)
@@ -857,25 +878,134 @@ func (s *Server) rejectBusy(conn net.Conn) {
 }
 
 // handle runs one connection end to end: handshake, market resolution, and
-// the bargaining session.
+// the bargaining session. A v6 mux handshake hands the connection to its
+// own goroutine instead — the worker slot frees immediately, and the
+// connection serves many concurrent sessions under its per-conn cap.
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
 	remote := ""
 	if addr := conn.RemoteAddr(); addr != nil {
 		remote = addr.String()
 	}
-	notify := func(market string, sum *SessionSummary, err error) {
-		if s.cfg.hook != nil {
-			s.cfg.hook(SessionEvent{Market: market, Remote: remote, Summary: sum, Err: err})
-		}
-	}
-
-	tconn := wire.WithIOTimeout(conn, s.cfg.ioTimeout)
-	codec, ch, err := wire.AcceptHandshake(tconn)
+	codec, ch, mux, err := wire.AcceptHandshakeMux(conn, s.cfg.ioTimeout)
 	if err != nil {
+		conn.Close()
 		s.rejected.Add(1)
+		s.notify("", remote, nil, err)
+		return
+	}
+	if mux {
+		s.muxWG.Add(1)
+		go func() {
+			defer s.muxWG.Done()
+			defer conn.Close()
+			s.serveMux(conn, codec, ch, remote)
+		}()
+		return
+	}
+	defer conn.Close()
+	s.serveSession(codec, ch, remote, conn)
+}
+
+// notify delivers one session event to the configured hook.
+func (s *Server) notify(market, remote string, sum *SessionSummary, err error) {
+	if s.cfg.hook != nil {
+		s.cfg.hook(SessionEvent{Market: market, Remote: remote, Summary: sum, Err: err})
+	}
+}
+
+// muxSessionCap bounds concurrently open sessions per multiplexed
+// connection — the mux counterpart of the serial worker pool plus its
+// backlog (mux sessions run on their own goroutines, off the pool).
+func (s *Server) muxSessionCap() int {
+	w := s.cfg.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return w + s.cfg.backlog
+}
+
+// serveMux drives one v6 multiplexed connection: the connection-level
+// hello doubles as the listing probe (market resolution included, so a
+// wrong-door dial is redirected before any session starts), then every
+// KindOpen becomes an independent session handled exactly like a serial
+// connection's. The connection itself is never tracked by a market — only
+// its per-session streams are — so evicting a migrating market severs
+// exactly that market's sessions and leaves the connection warm for the
+// rest.
+func (s *Server) serveMux(conn net.Conn, codec wire.Codec, ch *wire.ClientHello, remote string) {
+	notify := func(market string, sum *SessionSummary, err error) {
+		s.notify(market, remote, sum, err)
+	}
+	if ch.Version < 1 || ch.Version > wire.ProtocolVersion {
+		s.rejected.Add(1)
+		err := fmt.Errorf("vflmarket: unsupported protocol version %d (serving <= %d)", ch.Version, wire.ProtocolVersion)
+		wire.SendError(codec, "%v", err)
 		notify("", nil, err)
 		return
+	}
+	if ch.StatsOnly {
+		_ = codec.Send(&wire.Envelope{Kind: wire.KindStats, Stats: s.statsReport()})
+		_ = wire.Flush(codec)
+		notify("", nil, nil)
+		return
+	}
+	mkt, name, markets, ok := s.resolveMarket(codec, ch, notify)
+	if !ok {
+		return
+	}
+	_, modes, ok := s.resolveMode(codec, ch, notify)
+	if !ok {
+		return
+	}
+	hello, err := mkt.ds.Hello()
+	if err != nil {
+		s.rejected.Add(1)
+		wire.SendError(codec, "%v", err)
+		notify(name, nil, err)
+		return
+	}
+	hello.Version = wire.ProtocolVersion
+	hello.Market = name
+	hello.Markets = markets
+	hello.Modes = modes
+
+	sc, err := wire.NewMuxServerConn(conn, codec, s.cfg.ioTimeout, s.muxSessionCap())
+	if err != nil {
+		s.rejected.Add(1)
+		notify(name, nil, err)
+		return
+	}
+	if err := sc.SendHello(hello); err != nil {
+		s.rejected.Add(1)
+		notify(name, nil, err)
+		return
+	}
+	notify(name, nil, nil) // the probe half: a listing, like ListOnly
+
+	s.muxMu.Lock()
+	if s.muxConns == nil {
+		s.muxConns = make(map[*wire.MuxServerConn]struct{})
+	}
+	s.muxConns[sc] = struct{}{}
+	s.muxMu.Unlock()
+	defer func() {
+		s.muxMu.Lock()
+		delete(s.muxConns, sc)
+		s.muxMu.Unlock()
+	}()
+
+	_ = sc.Serve(func(st *wire.MuxStream, sch *wire.ClientHello) {
+		s.serveSession(st, sch, remote, st)
+	})
+}
+
+// serveSession runs one session end to end on an established codec — a
+// whole serial connection, or one stream of a multiplexed one. closer is
+// what a market eviction severs: the connection itself in the serial
+// case, the single stream in the mux case.
+func (s *Server) serveSession(codec wire.Codec, ch *wire.ClientHello, remote string, closer io.Closer) {
+	notify := func(market string, sum *SessionSummary, err error) {
+		s.notify(market, remote, sum, err)
 	}
 	if ch.Version < 1 || ch.Version > wire.ProtocolVersion {
 		s.rejected.Add(1)
@@ -890,91 +1020,24 @@ func (s *Server) handle(conn net.Conn) {
 	// must stay cheap and must work even when every market is mid-move.
 	if ch.StatsOnly {
 		_ = codec.Send(&wire.Envelope{Kind: wire.KindStats, Stats: s.statsReport()})
+		_ = wire.Flush(codec)
 		notify("", nil, nil)
 		return
 	}
 
-	// Resolve the information regime the client asked for. Imperfect
-	// sessions train on realized gains, which must cross in clear, so a
-	// Paillier-settling server serves the perfect regime only.
-	mode := ch.Mode
-	if mode == "" {
-		mode = wire.ModePerfect
-	}
-	modes := []string{wire.ModePerfect}
-	if s.cfg.secureBits <= 0 {
-		modes = append(modes, wire.ModeImperfect)
-	}
-	supported := false
-	for _, m := range modes {
-		supported = supported || m == mode
-	}
-	if !supported {
-		s.rejected.Add(1)
-		err := fmt.Errorf("vflmarket: unsupported information regime %q (serving %v)", ch.Mode, modes)
-		wire.SendError(codec, "%v", err)
-		notify("", nil, err)
+	mode, modes, ok := s.resolveMode(codec, ch, notify)
+	if !ok {
 		return
 	}
-	if mode == wire.ModeImperfect && !ch.ListOnly && ch.Imperfect == nil {
-		s.rejected.Add(1)
-		err := fmt.Errorf("vflmarket: imperfect session opened without parameters (seed, target, exploration rounds)")
-		wire.SendError(codec, "%v", err)
-		notify("", nil, err)
+	mkt, name, markets, ok := s.resolveMarket(codec, ch, notify)
+	if !ok {
 		return
 	}
 
-	s.mu.RLock()
-	name := ch.Market
-	if name == "" && len(s.order) > 0 {
-		name = s.order[0]
-	}
-	mkt := s.markets[name]
-	markets := append([]string(nil), s.order...)
-	s.mu.RUnlock()
-	if mkt == nil {
-		// A directory-attached shard knows where markets it does not serve
-		// live: answer with the owner instead of a terminal rejection. While
-		// the directory reports the market mid-migration the answer is a
-		// retryable busy — the new owner is not serving yet, and the
-		// client's backoff loop bridges the gap.
-		if d := s.cfg.directory; d != nil && name != "" {
-			if rt, ok := d.Route(name); ok {
-				if rt.Moving || rt.Addr == "" {
-					s.busy.Add(1)
-					err := fmt.Errorf("vflmarket: market %q is migrating; retry shortly", name)
-					if ch.Version >= 4 {
-						wire.SendBusy(codec, "%v", err)
-					} else {
-						wire.SendError(codec, "%v", err)
-					}
-					notify(name, nil, err)
-					return
-				}
-				s.redirected.Add(1)
-				rerr := &wire.RedirectError{Market: name, Addr: rt.Addr, Epoch: rt.Epoch}
-				if ch.Version >= 5 {
-					wire.SendRedirect(codec, &wire.Redirect{Market: name, Addr: rt.Addr, Epoch: rt.Epoch})
-				} else {
-					// Pre-v5 clients cannot follow a redirect envelope; name
-					// the owner in the error so the operator can re-point them.
-					wire.SendError(codec, "vflmarket: market %q is served at %s", name, rt.Addr)
-				}
-				notify(name, nil, rerr)
-				return
-			}
-		}
-		s.rejected.Add(1)
-		err := fmt.Errorf("vflmarket: unknown market %q (serving %v)", ch.Market, markets)
-		wire.SendError(codec, "%v", err)
-		notify("", nil, err)
-		return
-	}
-
-	// From here the connection is the market's: register it with the
+	// From here the session is the market's: register its carrier with the
 	// market so a migration can sever it. A market evicted between lookup
 	// and here answers busy — the redial after backoff gets the redirect.
-	if !mkt.track(conn) {
+	if !mkt.track(closer) {
 		s.busy.Add(1)
 		err := fmt.Errorf("vflmarket: market %q is migrating; retry shortly", name)
 		if ch.Version >= 4 {
@@ -985,7 +1048,7 @@ func (s *Server) handle(conn net.Conn) {
 		notify(name, nil, err)
 		return
 	}
-	defer mkt.untrack(conn)
+	defer mkt.untrack(closer)
 
 	// Protocol v3 hardening: the handshake's work factors are client
 	// input, so an abusive hello (exploration rounds or replay budget over
@@ -1026,6 +1089,7 @@ func (s *Server) handle(conn net.Conn) {
 
 	if ch.ListOnly {
 		_ = codec.Send(&wire.Envelope{Kind: wire.KindHello, Hello: hello})
+		_ = wire.Flush(codec)
 		notify(name, nil, nil)
 		return
 	}
@@ -1058,4 +1122,92 @@ func (s *Server) handle(conn net.Conn) {
 		s.closed.Add(1)
 	}
 	notify(name, sum, serr)
+}
+
+// resolveMode resolves the information regime the client asked for,
+// answering the refusal itself when unsupported. Imperfect sessions train
+// on realized gains, which must cross in clear, so a Paillier-settling
+// server serves the perfect regime only.
+func (s *Server) resolveMode(codec wire.Codec, ch *wire.ClientHello, notify func(string, *SessionSummary, error)) (string, []string, bool) {
+	mode := ch.Mode
+	if mode == "" {
+		mode = wire.ModePerfect
+	}
+	modes := []string{wire.ModePerfect}
+	if s.cfg.secureBits <= 0 {
+		modes = append(modes, wire.ModeImperfect)
+	}
+	supported := false
+	for _, m := range modes {
+		supported = supported || m == mode
+	}
+	if !supported {
+		s.rejected.Add(1)
+		err := fmt.Errorf("vflmarket: unsupported information regime %q (serving %v)", ch.Mode, modes)
+		wire.SendError(codec, "%v", err)
+		notify("", nil, err)
+		return "", nil, false
+	}
+	if mode == wire.ModeImperfect && !ch.ListOnly && ch.Imperfect == nil {
+		s.rejected.Add(1)
+		err := fmt.Errorf("vflmarket: imperfect session opened without parameters (seed, target, exploration rounds)")
+		wire.SendError(codec, "%v", err)
+		notify("", nil, err)
+		return "", nil, false
+	}
+	return mode, modes, true
+}
+
+// resolveMarket resolves the hello's market against the registry,
+// answering directory redirects, migration busies, and the unknown-market
+// rejection itself. ok=false means the refusal was already sent and
+// counted.
+func (s *Server) resolveMarket(codec wire.Codec, ch *wire.ClientHello, notify func(string, *SessionSummary, error)) (*market, string, []string, bool) {
+	s.mu.RLock()
+	name := ch.Market
+	if name == "" && len(s.order) > 0 {
+		name = s.order[0]
+	}
+	mkt := s.markets[name]
+	markets := append([]string(nil), s.order...)
+	s.mu.RUnlock()
+	if mkt != nil {
+		return mkt, name, markets, true
+	}
+	// A directory-attached shard knows where markets it does not serve
+	// live: answer with the owner instead of a terminal rejection. While
+	// the directory reports the market mid-migration the answer is a
+	// retryable busy — the new owner is not serving yet, and the
+	// client's backoff loop bridges the gap.
+	if d := s.cfg.directory; d != nil && name != "" {
+		if rt, ok := d.Route(name); ok {
+			if rt.Moving || rt.Addr == "" {
+				s.busy.Add(1)
+				err := fmt.Errorf("vflmarket: market %q is migrating; retry shortly", name)
+				if ch.Version >= 4 {
+					wire.SendBusy(codec, "%v", err)
+				} else {
+					wire.SendError(codec, "%v", err)
+				}
+				notify(name, nil, err)
+				return nil, "", nil, false
+			}
+			s.redirected.Add(1)
+			rerr := &wire.RedirectError{Market: name, Addr: rt.Addr, Epoch: rt.Epoch}
+			if ch.Version >= 5 {
+				wire.SendRedirect(codec, &wire.Redirect{Market: name, Addr: rt.Addr, Epoch: rt.Epoch})
+			} else {
+				// Pre-v5 clients cannot follow a redirect envelope; name
+				// the owner in the error so the operator can re-point them.
+				wire.SendError(codec, "vflmarket: market %q is served at %s", name, rt.Addr)
+			}
+			notify(name, nil, rerr)
+			return nil, "", nil, false
+		}
+	}
+	s.rejected.Add(1)
+	err := fmt.Errorf("vflmarket: unknown market %q (serving %v)", ch.Market, markets)
+	wire.SendError(codec, "%v", err)
+	notify("", nil, err)
+	return nil, "", nil, false
 }
