@@ -576,17 +576,58 @@ func BenchmarkBargainPerfect(b *testing.B) {
 
 // BenchmarkImperfectBargain measures one estimation-based game through the
 // Engine API — exploration, both online estimators, experience replay —
-// the in-process half of the imperfect perf trajectory.
+// the in-process half of the imperfect perf trajectory. Allocations are
+// reported: the batched estimator scans and reused layer buffers are the
+// allocs/op trajectory anchored in BENCH_PR9.json, guarded by CI.
 func BenchmarkImperfectBargain(b *testing.B) {
 	e, err := NewEngine("titanic", WithSynthetic(true), WithScale(0.5), WithSeed(5))
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.BargainImperfect(context.Background(), uint64(i+1), 40); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkImperfectBatch plays N=16 imperfect-information sessions per
+// iteration through Engine.BargainImperfectBatch, serially (workers=1) and
+// across the full worker pool (workers=GOMAXPROCS). Like
+// BenchmarkBargainBatch, both sub-benchmarks return byte-identical results
+// — the worker count only buys wall-clock. Each session carries its own
+// estimator pair, so the batch scales without sharing hot state.
+func BenchmarkImperfectBatch(b *testing.B) {
+	e, err := NewEngine("titanic", WithSynthetic(true), WithScale(0.5), WithSeed(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := make([]BatchSpec, 16)
+	params := ImperfectParams{ExplorationRounds: 40, PricePool: 100}
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // GOMAXPROCS
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := e.BargainImperfectBatch(context.Background(), specs, params, BatchOptions{
+					Workers: bench.workers,
+					Seed:    3,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != len(specs) {
+					b.Fatalf("results = %d", len(res))
+				}
+			}
+		})
 	}
 }
 

@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	go run ./cmd/tables -table 3 [-runs 100] [-scale 1] [-synthetic] [-csv]
+//	go run ./cmd/tables -table 3 [-runs 100] [-scale 1] [-synthetic] [-csv] [-workers N]
+//
+// Repeated runs fan out over the in-process batch runners (-workers bounds
+// the pool; 0 means GOMAXPROCS): Table 4's imperfect columns ride
+// core.RunBatchImperfect, whose sessions play through the batched
+// estimator-scan kernels. Results are deterministic in -seed alone — the
+// worker count never changes outcomes.
 package main
 
 import (

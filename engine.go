@@ -313,16 +313,57 @@ func (e *Engine) BargainBatch(ctx context.Context, specs []BatchSpec, opts Batch
 func (e *Engine) batchJobs(specs []BatchSpec, opts BatchOptions) []core.BatchJob {
 	jobs := make([]core.BatchJob, len(specs))
 	for i, sp := range specs {
-		cfg := e.env.Session
-		if sp.Session != nil {
-			cfg = *sp.Session
+		jobs[i] = core.BatchJob{
+			Config:   resolveBatchConfig(e.env.Session, sp, opts, i),
+			Observer: sp.Observer,
 		}
-		if seedIsSet(sp.Seed) {
-			cfg.Seed = sp.Seed
-		} else if !seedIsSet(cfg.Seed) {
-			cfg.Seed = rng.DeriveSeed(opts.Seed, uint64(i))
-		}
-		jobs[i] = core.BatchJob{Config: cfg, Observer: sp.Observer}
 	}
 	return jobs
+}
+
+// resolveBatchConfig overlays one batch spec on a template session under
+// the API-wide seed convention (see seedIsSet): an explicit spec seed wins,
+// a seeded session keeps its own, and otherwise the session gets a seed
+// derived from the batch master seed and the spec index. Engine batches and
+// Client.batchConfig apply the same rule, so an engine batch and a client
+// batch with the same specs play the same sessions.
+func resolveBatchConfig(tmpl SessionConfig, sp BatchSpec, opts BatchOptions, i int) SessionConfig {
+	cfg := tmpl
+	if sp.Session != nil {
+		cfg = *sp.Session
+	}
+	if seedIsSet(sp.Seed) {
+		cfg.Seed = sp.Seed
+	} else if !seedIsSet(cfg.Seed) {
+		cfg.Seed = rng.DeriveSeed(opts.Seed, uint64(i))
+	}
+	return cfg
+}
+
+// BargainImperfectBatch plays one imperfect-information game (§3.5) per
+// spec across a bounded worker pool and returns the results — each with
+// both Figure 4 MSE curves — in spec order. Specs without their own session
+// resolve against the imperfect template (SessionImperfect), and seeds
+// follow the exact convention of BargainBatch and the wire client's
+// BargainImperfectBatch, so results are deterministic in the specs and
+// BatchOptions.Seed alone — the worker count only changes wall-clock time —
+// and an engine batch is bit-identical to the same batch over the wire.
+// params applies to every session of the batch (zero values mean the
+// paper's defaults).
+//
+// The first session error — including ctx cancellation, checked between
+// rounds of every in-flight session — abandons the rest of the batch;
+// unfinished slots are left nil and the error is returned alongside the
+// partial results.
+func (e *Engine) BargainImperfectBatch(ctx context.Context, specs []BatchSpec, params ImperfectParams, opts BatchOptions) ([]*ImperfectResult, error) {
+	tmpl := e.SessionImperfect()
+	jobs := make([]core.ImperfectBatchJob, len(specs))
+	for i, sp := range specs {
+		jobs[i] = core.ImperfectBatchJob{
+			Config:   resolveBatchConfig(tmpl, sp, opts, i),
+			Params:   params,
+			Observer: sp.Observer,
+		}
+	}
+	return core.RunBatchImperfect(ctx, e.env.Catalog, jobs, opts.Workers)
 }

@@ -1,0 +1,205 @@
+package vflmarket
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// fastImperfectParams keeps imperfect batch tests quick: a short
+// exploration phase and a small Eq. 5 candidate pool.
+var fastImperfectParams = ImperfectParams{ExplorationRounds: 12, PricePool: 50}
+
+func imperfectBatchResultsEqual(a, b []*ImperfectResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBargainImperfectBatchDeterministicAcrossWorkerCounts(t *testing.T) {
+	e := fastEngine(t)
+	specs := make([]BatchSpec, 8)
+
+	ref, err := e.BargainImperfectBatch(t.Context(), specs, fastImperfectParams, BatchOptions{Workers: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range ref {
+		if res == nil {
+			t.Fatalf("nil result at %d", i)
+		}
+		if len(res.TaskMSE) != len(res.Rounds) || len(res.DataMSE) != len(res.Rounds) {
+			t.Fatalf("session %d: MSE series %d/%d entries over %d rounds",
+				i, len(res.TaskMSE), len(res.DataMSE), len(res.Rounds))
+		}
+	}
+	for _, workers := range []int{2, 4, 0} {
+		got, err := e.BargainImperfectBatch(t.Context(), specs, fastImperfectParams, BatchOptions{Workers: workers, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !imperfectBatchResultsEqual(ref, got) {
+			t.Fatalf("results differ between 1 worker and %d workers", workers)
+		}
+	}
+}
+
+// TestBargainImperfectBatchMatchesSerialSessions demands bit-identity
+// between a batch and the same sessions played one by one through
+// BargainImperfectWith — the batch runner must only parallelize, never
+// perturb.
+func TestBargainImperfectBatchMatchesSerialSessions(t *testing.T) {
+	e := fastEngine(t)
+	specs := make([]BatchSpec, 6)
+	for i := range specs {
+		specs[i] = BatchSpec{Seed: uint64(200 + i)}
+	}
+	batch, err := e.BargainImperfectBatch(t.Context(), specs, fastImperfectParams, BatchOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sp := range specs {
+		cfg := e.SessionImperfect()
+		cfg.Seed = sp.Seed
+		serial, err := e.BargainImperfectWith(t.Context(), cfg, fastImperfectParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch[i], serial) {
+			t.Fatalf("spec %d: batch result differs from the serial session", i)
+		}
+	}
+}
+
+func TestBargainImperfectBatchSeedDerivationIsPerSpec(t *testing.T) {
+	e := fastEngine(t)
+	res, err := e.BargainImperfectBatch(t.Context(), make([]BatchSpec, 6), fastImperfectParams, BatchOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct derived seeds must give at least two distinct traces.
+	distinct := false
+	for _, r := range res[1:] {
+		if !reflect.DeepEqual(r.Rounds, res[0].Rounds) {
+			distinct = true
+			break
+		}
+	}
+	if !distinct {
+		t.Fatal("all batch sessions played identical games; seeds not derived per spec")
+	}
+	// An explicit spec seed pins the session regardless of position.
+	pinned := []BatchSpec{{Seed: 77}}
+	a, err := e.BargainImperfectBatch(t.Context(), pinned, fastImperfectParams, BatchOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.BargainImperfectBatch(t.Context(), append(make([]BatchSpec, 3), pinned...), fastImperfectParams, BatchOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a[0], b[3]) {
+		t.Fatal("explicit spec seed did not pin the session")
+	}
+}
+
+func TestBargainImperfectBatchCancelledContext(t *testing.T) {
+	e := fastEngine(t)
+	ctx, cancel := context.WithCancel(t.Context())
+	cancel()
+	res, err := e.BargainImperfectBatch(ctx, make([]BatchSpec, 8), fastImperfectParams, BatchOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, r := range res {
+		if r != nil {
+			t.Fatalf("result %d produced after pre-cancelled context", i)
+		}
+	}
+}
+
+func TestBargainImperfectBatchCancelMidBatch(t *testing.T) {
+	e := fastEngine(t)
+	ctx, cancel := context.WithCancel(t.Context())
+	defer cancel()
+	// The first session to realize a round pulls the plug on the batch.
+	specs := make([]BatchSpec, 32)
+	for i := range specs {
+		specs[i] = BatchSpec{Observer: ObserverFuncs{Round: func(RoundRecord) { cancel() }}}
+	}
+	res, err := e.BargainImperfectBatch(ctx, specs, fastImperfectParams, BatchOptions{Workers: 4, Seed: 3})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	finished := 0
+	for _, r := range res {
+		if r != nil {
+			finished++
+		}
+	}
+	if finished == len(specs) {
+		t.Fatal("every session finished despite mid-batch cancellation")
+	}
+}
+
+func TestBargainImperfectBatchObserverOrderingPerSession(t *testing.T) {
+	e := fastEngine(t)
+	specs := make([]BatchSpec, 6)
+	obs := make([]*traceObserver, len(specs))
+	for i := range specs {
+		obs[i] = &traceObserver{}
+		specs[i] = BatchSpec{Observer: obs[i]}
+	}
+	res, err := e.BargainImperfectBatch(t.Context(), specs, fastImperfectParams, BatchOptions{Workers: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range obs {
+		if o.roundAfterEnd {
+			t.Fatalf("session %d: OnRound fired after OnOutcome", i)
+		}
+		if len(o.outcomes) != 1 {
+			t.Fatalf("session %d: OnOutcome fired %d times", i, len(o.outcomes))
+		}
+		if !reflect.DeepEqual(o.rounds, res[i].Rounds) {
+			t.Fatalf("session %d: streamed rounds differ from the result trace", i)
+		}
+		if o.outcomes[0].Outcome != res[i].Outcome {
+			t.Fatalf("session %d: streamed outcome %v, result %v", i, o.outcomes[0].Outcome, res[i].Outcome)
+		}
+		for j, r := range o.rounds {
+			if r.Round != j+1 {
+				t.Fatalf("session %d: round %d streamed at position %d", i, r.Round, j)
+			}
+		}
+	}
+}
+
+func TestBargainImperfectBatchSessionOverride(t *testing.T) {
+	e := fastEngine(t)
+	custom := e.SessionImperfect()
+	custom.MaxRounds = 5
+	res, err := e.BargainImperfectBatch(t.Context(), []BatchSpec{{Session: &custom}, {}}, fastImperfectParams, BatchOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res[0].Rounds) > 5 {
+		t.Fatalf("session override ignored: %d rounds with cap 5", len(res[0].Rounds))
+	}
+}
+
+func TestBargainImperfectBatchInvalidSpecFailsBatch(t *testing.T) {
+	e := fastEngine(t)
+	bad := e.SessionImperfect()
+	bad.U = bad.InitRate // violates u > p0
+	if _, err := e.BargainImperfectBatch(t.Context(), []BatchSpec{{}, {Session: &bad}}, fastImperfectParams, BatchOptions{}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}

@@ -75,6 +75,20 @@ feed:
 	return firstErr
 }
 
+// ImperfectBatchJob is one imperfect-information bargaining session of a
+// batch: a full session configuration, the §3.5 regime knobs, and an
+// optional per-session observer.
+type ImperfectBatchJob struct {
+	Config SessionConfig
+	// Params are the regime knobs; zero values resolve to the paper's
+	// defaults through WithDefaults.
+	Params ImperfectParams
+	// Observer, when non-nil, streams this session's rounds and outcome
+	// from the worker goroutine playing the session; an observer shared
+	// between jobs must be safe for concurrent use.
+	Observer RoundObserver
+}
+
 // RunBatch plays every job's perfect-information game over the catalog with
 // a bounded worker pool. workers <= 0 means GOMAXPROCS. Results are indexed
 // like jobs and depend only on each job's configuration — identical inputs
@@ -89,6 +103,34 @@ func RunBatch(ctx context.Context, cat *Catalog, jobs []BatchJob, workers int) (
 	err := ForEach(ctx, len(jobs), workers, func(ctx context.Context, i int) error {
 		sess := NewSession(cat, jobs[i].Config).Observe(jobs[i].Observer)
 		res, err := sess.RunPerfect(ctx)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	return results, err
+}
+
+// RunBatchImperfect plays every job's imperfect-information game (§3.5)
+// over the catalog with a bounded worker pool: per session, both parties
+// learn their gain estimators online through the batched scan kernels, and
+// the result carries both Figure 4 learning curves. workers <= 0 means
+// GOMAXPROCS. Results are indexed like jobs and depend only on each job's
+// configuration — every session derives all randomness from its own Seed
+// per the imperfect seed convention, so the worker count never changes
+// outcomes, and each result is bit-identical to a standalone
+// Session.RunImperfect with the same configuration.
+//
+// The first session error (an invalid configuration, or the context being
+// cancelled between rounds) stops the batch: remaining sessions are
+// abandoned, their slots are left nil, and the error is returned alongside
+// the partial results.
+func RunBatchImperfect(ctx context.Context, cat *Catalog, jobs []ImperfectBatchJob, workers int) ([]*ImperfectResult, error) {
+	results := make([]*ImperfectResult, len(jobs))
+	err := ForEach(ctx, len(jobs), workers, func(ctx context.Context, i int) error {
+		sess := NewSession(cat, jobs[i].Config).Observe(jobs[i].Observer)
+		res, err := sess.RunImperfect(ctx, jobs[i].Params)
 		if err != nil {
 			return err
 		}

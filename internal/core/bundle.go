@@ -230,13 +230,20 @@ func (c *Catalog) MaxGain() (gain float64, id int) {
 // Affordable returns the bundle ids whose reserved prices admit the quoted
 // price (the data party's filtering step).
 func (c *Catalog) Affordable(q QuotedPrice) []int {
-	var ids []int
+	return c.AffordableInto(nil, q)
+}
+
+// AffordableInto appends the affordable bundle ids to dst (reset to length
+// 0 first) and returns it — the allocation-free form of Affordable for
+// callers that filter every round, like the estimator seller.
+func (c *Catalog) AffordableInto(dst []int, q QuotedPrice) []int {
+	dst = dst[:0]
 	for i, b := range c.Bundles {
 		if b.Reserved.Admits(q) {
-			ids = append(ids, i)
+			dst = append(dst, i)
 		}
 	}
-	return ids
+	return dst
 }
 
 // ClosestBelow returns, among the given bundle ids, the one whose gain is
@@ -374,4 +381,3 @@ func (s *SyntheticGains) Gain(features []int) float64 {
 	s.memo[key] = g
 	return g
 }
-

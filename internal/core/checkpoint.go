@@ -49,10 +49,9 @@ func restoreEstimator(params []nn.Param, opt nn.Optimizer, st EstimatorState) er
 }
 
 // stateParams is g's canonical parameter order — the same order Update
-// steps the optimizer with, so moment tensors line up.
-func (e *BundleEstimator) stateParams() []nn.Param {
-	return append(e.mlp.Params(), e.emb.Params()...)
-}
+// steps the optimizer with, so moment tensors line up. It is the cached
+// combined list built at construction (mlp then embedding).
+func (e *BundleEstimator) stateParams() []nn.Param { return e.params }
 
 // State freezes the bundle estimator's weights and optimizer moments.
 func (e *BundleEstimator) State() (EstimatorState, error) {

@@ -22,6 +22,12 @@ type PriceEstimator struct {
 	rateScale float64
 	payScale  float64
 	gainScale float64
+
+	// Scan buffers, reused across Predict and PredictPool calls.
+	in      tensor.Vector // per-sample input scratch
+	poolX   *tensor.Matrix
+	scratch nn.PredictScratch
+	preds   []float64
 }
 
 // NewPriceEstimator builds an untrained f. rateScale is the largest payment
@@ -36,16 +42,44 @@ func NewPriceEstimator(rateScale, payScale, gainScale float64, seed uint64) *Pri
 		rateScale: rateScale,
 		payScale:  payScale,
 		gainScale: gainScale,
+		in:        make(tensor.Vector, 3),
 	}
 }
 
+// input fills the estimator's input scratch with the normalized quote. The
+// returned vector is reused by the next input call; Predict and Update
+// consume it before then.
 func (e *PriceEstimator) input(q QuotedPrice) tensor.Vector {
-	return tensor.Vector{q.Rate / e.rateScale, q.Base / e.payScale, q.High / e.payScale}
+	e.in[0] = q.Rate / e.rateScale
+	e.in[1] = q.Base / e.payScale
+	e.in[2] = q.High / e.payScale
+	return e.in
 }
 
 // Predict returns the estimated ΔG of offering quote q.
 func (e *PriceEstimator) Predict(q QuotedPrice) float64 {
 	return e.reg.Predict(e.input(q)) * e.gainScale
+}
+
+// PredictPool predicts the estimated ΔG of every quote in pool through one
+// batched forward pass — one matrix product per layer instead of a per-quote
+// MLP walk. The returned slice is reused by the next PredictPool call;
+// element i is bit-identical to Predict(pool[i]), because the batched kernel
+// keeps the per-sample summation order and the weights are fixed within a
+// scan.
+func (e *PriceEstimator) PredictPool(pool []QuotedPrice) []float64 {
+	e.poolX = tensor.EnsureMatrix(e.poolX, len(pool), 3)
+	for i, q := range pool {
+		row := e.poolX.Row(i)
+		row[0] = q.Rate / e.rateScale
+		row[1] = q.Base / e.payScale
+		row[2] = q.High / e.payScale
+	}
+	e.preds = e.reg.PredictBatchInto(&e.scratch, e.poolX, e.preds)
+	for i := range e.preds {
+		e.preds[i] *= e.gainScale
+	}
+	return e.preds
 }
 
 // Update trains on one (quote, realized gain) pair and returns the
@@ -64,6 +98,16 @@ type BundleEstimator struct {
 	mlp       *nn.MLP
 	opt       nn.Optimizer
 	gainScale float64
+	// params is the combined parameter list in the canonical
+	// mlp-then-embedding order (the checkpoint and Adam-moment order),
+	// cached at construction instead of re-appended per gradient step.
+	params []nn.Param
+
+	// Scan buffers, reused across PredictAll calls.
+	pooledB *tensor.Matrix
+	scratch nn.PredictScratch
+	preds   []float64
+	gbuf    tensor.Vector // 1-element output-gradient scratch for Update
 }
 
 // BundleEmbeddingDim is the per-feature embedding width of g.
@@ -80,18 +124,40 @@ func NewBundleEstimator(numFeatures int, gainScale float64, seed uint64) *Bundle
 	}
 	src := rng.New(seed)
 	sizes := append(append([]int{BundleEmbeddingDim}, estimatorHidden...), 1)
-	return &BundleEstimator{
+	e := &BundleEstimator{
 		emb:       nn.NewEmbedding(numFeatures, BundleEmbeddingDim, src.Split(1)),
 		mlp:       nn.NewMLP(sizes, nn.ReLU, nn.Identity, src.Split(2)),
 		opt:       nn.NewAdam(1e-3),
 		gainScale: gainScale,
+		gbuf:      make(tensor.Vector, 1),
 	}
+	e.params = append(e.mlp.Params(), e.emb.Params()...)
+	return e
 }
 
 // Predict returns the estimated ΔG of a bundle.
 func (e *BundleEstimator) Predict(features []int) float64 {
 	pooled := e.emb.ForwardMean(features)
 	return e.mlp.Forward(pooled)[0] * e.gainScale
+}
+
+// PredictAll predicts the estimated ΔG of every feature bundle through one
+// batched forward pass — mean-pool every bundle's embeddings into one
+// matrix, then one matrix product per MLP layer. The returned slice is
+// reused by the next PredictAll call; element i is bit-identical to
+// Predict(bundles[i]) for fixed weights, and the training caches are
+// untouched.
+func (e *BundleEstimator) PredictAll(bundles [][]int) []float64 {
+	e.pooledB = e.emb.ForwardMeanBatchInto(e.pooledB, bundles)
+	z := e.mlp.PredictBatchInto(&e.scratch, e.pooledB)
+	if cap(e.preds) < len(bundles) {
+		e.preds = make([]float64, len(bundles))
+	}
+	e.preds = e.preds[:len(bundles)]
+	for i := range e.preds {
+		e.preds[i] = z.At(i, 0) * e.gainScale
+	}
+	return e.preds
 }
 
 // Update trains on one (bundle, realized gain) pair and returns the
@@ -103,11 +169,11 @@ func (e *BundleEstimator) Update(features []int, gain float64) float64 {
 	pooled := e.emb.ForwardMean(features)
 	pred := e.mlp.Forward(pooled)
 	loss, g := nn.MSEGrad(pred[0], gain/e.gainScale)
-	gradIn := e.mlp.Backward(tensor.Vector{g})
+	e.gbuf[0] = g
+	gradIn := e.mlp.Backward(e.gbuf)
 	e.emb.BackwardMean(gradIn)
-	params := append(e.mlp.Params(), e.emb.Params()...)
-	nn.ClipGrads(params, 5)
-	e.opt.Step(params)
+	nn.ClipGrads(e.params, 5)
+	e.opt.Step(e.params)
 	return loss
 }
 

@@ -232,16 +232,20 @@ func (p *imperfectPolicy) next(cur QuotedPrice, nextRound int) (QuotedPrice, boo
 // member during exploration (coverage for f), and afterwards the §3.5.3
 // rule — prefer quotes whose predicted gain reaches their own knee within
 // εt, maximizing predicted net profit; fall back to the best predicted net
-// profit overall.
+// profit overall. The post-exploration scan predicts the whole pool in one
+// batched forward (bit-identical to per-quote Predict calls: the weights
+// are fixed within the scan and the batched kernels keep the per-sample
+// summation order).
 func nextImperfectQuote(s SessionConfig, f *PriceEstimator, pool []QuotedPrice,
 	exploring bool, src *rng.Source) QuotedPrice {
 	if exploring {
 		return pool[src.IntN(len(pool))]
 	}
+	preds := f.PredictPool(pool)
 	bestFiltered, bestAny := -1, -1
 	var bestFilteredProfit, bestAnyProfit float64
 	for i, q := range pool {
-		pred := f.Predict(q)
+		pred := preds[i]
 		profit := s.U*pred - q.Payment(pred)
 		if bestAny < 0 || profit > bestAnyProfit {
 			bestAny, bestAnyProfit = i, profit

@@ -47,6 +47,12 @@ type EstimatorSeller struct {
 	mse          []float64
 	targetBundle int
 
+	// featureSets indexes every bundle's feature ids by bundle id — the
+	// fixed input of the whole-inventory batched scan in caseTwoChoice.
+	featureSets [][]int
+	// affordable is the per-round filtering scratch, reused across Offers.
+	affordable []int
+
 	// settledRound and lastOffer track the seller's resume position: the
 	// last round it settled and the offer it made for it (see Snapshot).
 	settledRound int
@@ -66,7 +72,9 @@ func NewEstimatorSeller(cat *Catalog, cfg EstimatorSellerConfig) *EstimatorSelle
 	src := rng.New(cfg.Seed)
 	gSeed := src.Split(2).Uint64()
 	numFeatures := 0
-	for _, b := range cat.Bundles {
+	featureSets := make([][]int, len(cat.Bundles))
+	for i, b := range cat.Bundles {
+		featureSets[i] = b.Features
 		for _, ft := range b.Features {
 			if ft+1 > numFeatures {
 				numFeatures = ft + 1
@@ -74,6 +82,7 @@ func NewEstimatorSeller(cat *Catalog, cfg EstimatorSellerConfig) *EstimatorSelle
 		}
 	}
 	return &EstimatorSeller{
+		featureSets:  featureSets,
 		cat:          cat,
 		cfg:          cfg,
 		params:       cfg.Params.WithDefaults(),
@@ -90,7 +99,8 @@ func NewEstimatorSeller(cat *Catalog, cfg EstimatorSellerConfig) *EstimatorSelle
 // selection and commitment rules over g's predictions.
 func (s *EstimatorSeller) Offer(round int, q QuotedPrice) (SellerOffer, error) {
 	exploring := round <= s.params.ExplorationRounds
-	affordable := s.cat.Affordable(q)
+	s.affordable = s.cat.AffordableInto(s.affordable, q)
+	affordable := s.affordable
 	accept := false
 	var bundleID int
 	switch {
@@ -118,15 +128,19 @@ func (s *EstimatorSeller) Offer(round int, q QuotedPrice) (SellerOffer, error) {
 // caseTwoChoice applies the post-exploration Case II policy: pick the
 // affordable bundle whose predicted gain sits closest below the payment
 // knee (falling back to the gentlest overshoot), and commit when the
-// prediction says the ceiling is already earned.
+// prediction says the ceiling is already earned. The whole inventory is
+// predicted in ONE batched forward pass per round; the affordable-set
+// selection and the final accept check index into that scan instead of
+// re-predicting (the weights are fixed within a round, so the indexed
+// predictions are bit-identical to fresh per-bundle Predict calls).
 func (s *EstimatorSeller) caseTwoChoice(q QuotedPrice, affordable []int) (bundleID int, accept bool) {
 	knee := q.TargetGain()
+	preds := s.g.PredictAll(s.featureSets)
 	// Inventory-wide prediction range: Case II(2)/(3) ask whether the knee
 	// lies beyond anything the data party could ever deliver, with the εd
 	// margin absorbing estimation error.
 	minAll, maxAll := math.Inf(1), math.Inf(-1)
-	for i := range s.cat.Bundles {
-		pred := s.g.Predict(s.cat.Bundles[i].Features)
+	for _, pred := range preds {
 		minAll = math.Min(minAll, pred)
 		maxAll = math.Max(maxAll, pred)
 	}
@@ -138,7 +152,7 @@ func (s *EstimatorSeller) caseTwoChoice(q QuotedPrice, affordable []int) (bundle
 	maxID, minID := affordable[0], affordable[0]
 	maxPred, minPred := math.Inf(-1), math.Inf(1)
 	for _, id := range affordable {
-		pred := s.g.Predict(s.cat.Bundles[id].Features)
+		pred := preds[id]
 		if pred > maxPred {
 			maxPred, maxID = pred, id
 		}
@@ -169,7 +183,7 @@ func (s *EstimatorSeller) caseTwoChoice(q QuotedPrice, affordable []int) (bundle
 			bundleID = bestAbove
 		}
 		// Case II(1): predicted knee match.
-		accept = knee-s.g.Predict(s.cat.Bundles[bundleID].Features) <= s.cfg.EpsData
+		accept = knee-preds[bundleID] <= s.cfg.EpsData
 		return bundleID, accept
 	}
 }

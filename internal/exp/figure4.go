@@ -66,25 +66,29 @@ func RunFigure4(ctx context.Context, opts Figure4Options) (*Figure4, error) {
 				return nil, err
 			}
 			panel := Figure4Panel{Dataset: name, Model: model}
-			// Runs execute across the worker pool; each writes its own
-			// slot, keeping the averaged curves deterministic in the seed.
-			taskSeries := make([][]float64, opts.Runs)
-			dataSeries := make([][]float64, opts.Runs)
-			err = core.ForEach(ctx, opts.Runs, opts.Workers, func(ctx context.Context, r int) error {
+			// Runs execute across the imperfect batch runner's worker pool —
+			// each session plays through the vectorized estimator scans —
+			// with per-run seeds derived exactly as before, keeping the
+			// averaged curves deterministic in the seed.
+			jobs := make([]core.ImperfectBatchJob, opts.Runs)
+			for r := range jobs {
 				cfg := env.Session
 				cfg.EpsTask, cfg.EpsData = p.EpsImperfect, p.EpsImperfect
 				cfg.MaxRounds = opts.Rounds
 				cfg.Seed = rng.DeriveSeed(opts.Seed, uint64(r))
-				res, err := core.NewSession(env.Catalog, cfg).RunImperfect(ctx,
-					core.ImperfectParams{ExplorationRounds: opts.ExplorationRounds})
-				if err != nil {
-					return err
+				jobs[r] = core.ImperfectBatchJob{
+					Config: cfg,
+					Params: core.ImperfectParams{ExplorationRounds: opts.ExplorationRounds},
 				}
-				taskSeries[r], dataSeries[r] = res.TaskMSE, res.DataMSE
-				return nil
-			})
+			}
+			results, err := core.RunBatchImperfect(ctx, env.Catalog, jobs, opts.Workers)
 			if err != nil {
 				return nil, err
+			}
+			taskSeries := make([][]float64, opts.Runs)
+			dataSeries := make([][]float64, opts.Runs)
+			for r, res := range results {
+				taskSeries[r], dataSeries[r] = res.TaskMSE, res.DataMSE
 			}
 			panel.TaskMSE = meanAcrossRuns(taskSeries, opts.Rounds)
 			panel.DataMSE = meanAcrossRuns(dataSeries, opts.Rounds)

@@ -89,33 +89,47 @@ func runTable4Col(ctx context.Context, env *Env, p Profile, imperfect bool, opts
 	target := env.Catalog.TargetBundle(env.Session.TargetGain)
 	reserved := env.Catalog.Bundles[target].Reserved
 
-	// Runs execute across the worker pool; each writes only its own slot,
-	// so aggregation stays deterministic in the seed.
+	// Runs execute across the batch runners' worker pools; results come
+	// back in run order, so aggregation stays deterministic in the seed.
 	finals := make([]core.RoundRecord, opts.Runs)
 	outcomes := make([]core.Outcome, opts.Runs)
-	err := core.ForEach(ctx, opts.Runs, opts.Workers, func(ctx context.Context, r int) error {
-		cfg := env.Session
-		cfg.MaxRounds = opts.MaxRounds
-		cfg.Seed = rng.DeriveSeed(opts.Seed, uint64(r))
-		if imperfect {
+	if imperfect {
+		// The imperfect column rides the in-process batched runner: every
+		// session plays through the vectorized estimator scans with per-run
+		// seeds derived exactly as before.
+		jobs := make([]core.ImperfectBatchJob, opts.Runs)
+		for r := range jobs {
+			cfg := env.Session
+			cfg.MaxRounds = opts.MaxRounds
+			cfg.Seed = rng.DeriveSeed(opts.Seed, uint64(r))
 			cfg.EpsTask, cfg.EpsData = p.EpsImperfect, p.EpsImperfect
-			res, err := core.NewSession(env.Catalog, cfg).RunImperfect(ctx,
-				core.ImperfectParams{ExplorationRounds: opts.ExplorationRounds})
-			if err != nil {
-				return err
+			jobs[r] = core.ImperfectBatchJob{
+				Config: cfg,
+				Params: core.ImperfectParams{ExplorationRounds: opts.ExplorationRounds},
 			}
-			finals[r], outcomes[r] = res.Final, res.Outcome
-			return nil
 		}
-		res, err := core.NewSession(env.Catalog, cfg).RunPerfect(ctx)
+		results, err := core.RunBatchImperfect(ctx, env.Catalog, jobs, opts.Workers)
 		if err != nil {
-			return err
+			return col, err
 		}
-		finals[r], outcomes[r] = res.Final, res.Outcome
-		return nil
-	})
-	if err != nil {
-		return col, err
+		for r, res := range results {
+			finals[r], outcomes[r] = res.Final, res.Outcome
+		}
+	} else {
+		jobs := make([]core.BatchJob, opts.Runs)
+		for r := range jobs {
+			cfg := env.Session
+			cfg.MaxRounds = opts.MaxRounds
+			cfg.Seed = rng.DeriveSeed(opts.Seed, uint64(r))
+			jobs[r] = core.BatchJob{Config: cfg}
+		}
+		results, err := core.RunBatch(ctx, env.Catalog, jobs, opts.Workers)
+		if err != nil {
+			return col, err
+		}
+		for r, res := range results {
+			finals[r], outcomes[r] = res.Final, res.Outcome
+		}
 	}
 
 	var rates, bases, highs, dRates, dBases, gains, nets, pays []float64

@@ -98,6 +98,11 @@ type Dense struct {
 	lastX   tensor.Vector // cached input of the last Forward
 	lastY   tensor.Vector // cached activated output of the last Forward
 
+	// Per-sample buffers, reused across Forward/Backward calls.
+	fy tensor.Vector // Forward output (also lastY)
+	dz tensor.Vector // pre-activation gradient
+	dx tensor.Vector // input gradient handed back to the previous layer
+
 	// Minibatch buffers, reused across ForwardBatch/BackwardBatch calls.
 	bX  *tensor.Matrix // cached input of the last ForwardBatch (caller-owned)
 	bY  *tensor.Matrix // cached activated outputs
@@ -124,33 +129,46 @@ func NewDense(in, out int, act Activation, src *rng.Source) *Dense {
 }
 
 // Forward computes the layer output for one sample and caches the
-// intermediates needed by Backward.
+// intermediates needed by Backward. The returned vector is a layer-owned
+// buffer, valid until the next Forward call on this layer; callers that
+// need it longer must Clone it.
 func (d *Dense) Forward(x tensor.Vector) tensor.Vector {
 	if len(x) != d.In {
 		panic(fmt.Sprintf("nn: Dense forward input %d, want %d", len(x), d.In))
 	}
-	y := d.W.MulVec(x)
-	for i := range y {
-		y[i] = d.Act.forward(y[i] + d.B[i])
+	if cap(d.fy) < d.Out {
+		d.fy = make(tensor.Vector, d.Out)
+	}
+	y := d.fy[:d.Out]
+	for i := 0; i < d.Out; i++ {
+		y[i] = d.Act.forward(tensor.Vector(d.W.Data[i*d.In:(i+1)*d.In]).Dot(x) + d.B[i])
 	}
 	d.lastX, d.lastY = x, y
 	return y
 }
 
 // Backward takes dL/dy for the last Forward, accumulates parameter gradients
-// and returns dL/dx.
+// and returns dL/dx (a layer-owned buffer, valid until the next Backward).
 func (d *Dense) Backward(grad tensor.Vector) tensor.Vector {
 	if len(grad) != d.Out {
 		panic(fmt.Sprintf("nn: Dense backward grad %d, want %d", len(grad), d.Out))
 	}
 	// dL/dz where z = Wx + b.
-	dz := make(tensor.Vector, d.Out)
+	if cap(d.dz) < d.Out {
+		d.dz = make(tensor.Vector, d.Out)
+	}
+	dz := d.dz[:d.Out]
 	for i, g := range grad {
 		dz[i] = g * d.Act.derivFromOutput(d.lastY[i])
 	}
 	d.dW.AddOuter(1, dz, d.lastX)
 	d.dB.AddScaled(1, dz)
-	return d.W.MulVecT(dz)
+	if cap(d.dx) < d.In {
+		d.dx = make(tensor.Vector, d.In)
+	}
+	dx := d.dx[:d.In]
+	d.W.MulVecTInto(dx, dz)
+	return dx
 }
 
 // ForwardBatch computes the layer outputs for a whole minibatch (rows of X
@@ -301,6 +319,7 @@ type Embedding struct {
 	Table       *tensor.Matrix // NumIDs × Dim
 	dTable      *tensor.Matrix
 	lastIDs     []int
+	fwd         tensor.Vector // ForwardMean output, reused across calls
 }
 
 // NewEmbedding creates an embedding table with Gaussian init.
@@ -315,12 +334,18 @@ func NewEmbedding(numIDs, dim int, src *rng.Source) *Embedding {
 }
 
 // ForwardMean returns the mean embedding of ids and caches them for
-// BackwardMean. It panics on an empty id set or out-of-range ids.
+// BackwardMean. The returned vector is a table-owned buffer, valid until
+// the next ForwardMean call. It panics on an empty id set or out-of-range
+// ids.
 func (e *Embedding) ForwardMean(ids []int) tensor.Vector {
 	if len(ids) == 0 {
 		panic("nn: Embedding.ForwardMean on empty id set")
 	}
-	out := tensor.NewVector(e.Dim)
+	if cap(e.fwd) < e.Dim {
+		e.fwd = make(tensor.Vector, e.Dim)
+	}
+	out := e.fwd[:e.Dim]
+	out.Fill(0)
 	for _, id := range ids {
 		if id < 0 || id >= e.NumIDs {
 			panic(fmt.Sprintf("nn: embedding id %d out of range [0,%d)", id, e.NumIDs))

@@ -82,8 +82,10 @@ func (a *Adam) Restore(params []Param, st AdamState) error {
 }
 
 // Params exposes the regressor's trainable parameters (its MLP's, in
-// Params() order) for state capture.
-func (r *Regressor) Params() []Param { return r.net.Params() }
+// Params() order) for state capture. The slice is the regressor's cached
+// parameter list — the same one its optimizer steps — so captures and
+// restores see the live tensors.
+func (r *Regressor) Params() []Param { return r.params }
 
 // Optimizer exposes the regressor's optimizer for state capture.
 func (r *Regressor) Optimizer() Optimizer { return r.opt }

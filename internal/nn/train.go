@@ -141,8 +141,10 @@ func (c *Classifier) PredictAll(X *tensor.Matrix) []int {
 // Regressor is a trained scalar-output MLP regressor, used by the
 // performance-gain estimators.
 type Regressor struct {
-	net *MLP
-	opt Optimizer
+	net    *MLP
+	opt    Optimizer
+	params []Param       // cached net.Params(), shared backing with the live tensors
+	gbuf   tensor.Vector // 1-element output-gradient scratch for Update
 }
 
 // NewRegressor builds an untrained MLP regressor with the given input width
@@ -150,9 +152,12 @@ type Regressor struct {
 // imperfect-information bargaining strategies need.
 func NewRegressor(in int, hidden []int, lr float64, seed uint64) *Regressor {
 	sizes := append(append([]int{in}, hidden...), 1)
+	net := NewMLP(sizes, ReLU, Identity, rng.New(seed))
 	return &Regressor{
-		net: NewMLP(sizes, ReLU, Identity, rng.New(seed)),
-		opt: NewAdam(lr),
+		net:    net,
+		opt:    NewAdam(lr),
+		params: net.Params(),
+		gbuf:   make(tensor.Vector, 1),
 	}
 }
 
@@ -165,9 +170,10 @@ func (r *Regressor) Update(x tensor.Vector, target float64) float64 {
 	r.net.ZeroGrad()
 	pred := r.net.Forward(x)
 	loss, g := MSEGrad(pred[0], target)
-	r.net.Backward(tensor.Vector{g})
-	ClipGrads(r.net.Params(), 5)
-	r.opt.Step(r.net.Params())
+	r.gbuf[0] = g
+	r.net.Backward(r.gbuf)
+	ClipGrads(r.params, 5)
+	r.opt.Step(r.params)
 	return loss
 }
 
@@ -183,9 +189,10 @@ func (r *Regressor) UpdateBatch(xs []tensor.Vector, targets []float64) float64 {
 		pred := r.net.Forward(x)
 		loss, g := MSEGrad(pred[0], targets[i])
 		total += loss
-		r.net.Backward(tensor.Vector{g / float64(len(xs))})
+		r.gbuf[0] = g / float64(len(xs))
+		r.net.Backward(r.gbuf)
 	}
-	ClipGrads(r.net.Params(), 5)
-	r.opt.Step(r.net.Params())
+	ClipGrads(r.params, 5)
+	r.opt.Step(r.params)
 	return total / float64(len(xs))
 }

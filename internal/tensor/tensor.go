@@ -246,6 +246,28 @@ func (m *Matrix) MulVecT(v Vector) Vector {
 	return out
 }
 
+// MulVecTInto computes mᵀ×v into a preallocated dst, overwriting it. It is
+// MulVecT without the allocation — same ascending-row accumulation, same
+// zero skipping — so the result is bit-identical; this is the buffer-reusing
+// backprop kernel of the per-sample path. It panics on shape mismatch.
+func (m *Matrix) MulVecTInto(dst, v Vector) {
+	if m.Rows != len(v) || m.Cols != len(dst) {
+		panic(fmt.Sprintf("tensor: MulVecTInto shape mismatch (%dx%d)ᵀ×%d→%d", m.Rows, m.Cols, len(v), len(dst)))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i, vi := range v {
+		if vi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, mv := range row {
+			dst[j] += vi * mv
+		}
+	}
+}
+
 // AddScaled adds alpha*other to m in place. It panics on shape mismatch.
 func (m *Matrix) AddScaled(alpha float64, other *Matrix) {
 	if m.Rows != other.Rows || m.Cols != other.Cols {
