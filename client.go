@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
-	mrand "math/rand"
 	"net"
 	"sync"
 	"time"
@@ -30,74 +29,41 @@ type dialConfig struct {
 	imperfect    *ImperfectParams
 	noisePool    int
 	identity     string
-	backoff      ResumeBackoff
+	backoff      RetryPolicy
+	breaker      BreakerPolicy
+	fallbacks    []string
 	connsPerAddr int
 }
 
-// ResumeBackoff is the auto-resume redial policy for identified imperfect
-// sessions: how many times one BargainImperfect call dials after a
-// transport failure or busy refusal, and how the waits between attempts
-// grow. The schedule is capped exponential with jitter — wait k is
-// Base·2^(k−1) clamped to Max, scaled by a uniform factor in
-// [1−Jitter, 1+Jitter] so a fleet of clients evicted together (a market
-// migration severs every session at once) does not redial in lockstep.
-type ResumeBackoff struct {
-	// Attempts is the total number of dial attempts one call makes, the
-	// first included. <= 0 keeps the default (12).
-	Attempts int
-	// Base is the wait before the first redial. <= 0 keeps the default
-	// (150ms).
-	Base time.Duration
-	// Max caps a single wait once the doubling reaches it. <= 0 keeps the
-	// default (2s).
-	Max time.Duration
-	// Jitter is the ± fraction randomizing each wait. 0 keeps the default
-	// (0.2); negative disables jitter (deterministic schedule, for tests).
-	Jitter float64
+// WithRetryPolicy sets the client's shared retry schedule (see
+// RetryPolicy): it paces the initial Dial, Stats reads, failover address
+// rotation, session retries, and the imperfect-session resume loop.
+// Zero-valued fields keep their defaults.
+func WithRetryPolicy(p RetryPolicy) DialOption {
+	return func(c *dialConfig) { c.backoff = p }
 }
 
-func (b ResumeBackoff) withDefaults() ResumeBackoff {
-	if b.Attempts <= 0 {
-		b.Attempts = 12
-	}
-	if b.Base <= 0 {
-		b.Base = 150 * time.Millisecond
-	}
-	if b.Max <= 0 {
-		b.Max = 2 * time.Second
-	}
-	if b.Jitter == 0 {
-		b.Jitter = 0.2
-	}
-	if b.Jitter < 0 {
-		b.Jitter = 0
-	}
-	if b.Jitter > 1 {
-		b.Jitter = 1
-	}
-	return b
+// WithResumeBackoff is the historical name of WithRetryPolicy, kept for
+// callers configuring the policy for the resume loop it originally paced.
+func WithResumeBackoff(b ResumeBackoff) DialOption { return WithRetryPolicy(b) }
+
+// WithCircuitBreaker tunes the per-address circuit breakers guarding the
+// connection pool: after Threshold consecutive dial failures an address
+// is suppressed (dials fast-fail with ErrCircuitOpen) until the Cooldown
+// admits a half-open probe. Zero-valued fields keep the defaults
+// (threshold 5, cooldown 1s); Disabled turns the breakers off.
+func WithCircuitBreaker(p BreakerPolicy) DialOption {
+	return func(c *dialConfig) { c.breaker = p }
 }
 
-// wait returns the sleep before redial k (k >= 1) on a defaulted policy.
-func (b ResumeBackoff) wait(k int) time.Duration {
-	d := b.Base
-	for i := 1; i < k && d < b.Max; i++ {
-		d *= 2
-	}
-	if d > b.Max {
-		d = b.Max
-	}
-	if b.Jitter > 0 {
-		d = time.Duration(float64(d) * (1 + b.Jitter*(2*mrand.Float64()-1)))
-	}
-	return d
-}
-
-// WithResumeBackoff sets the auto-resume redial policy for identified
-// imperfect sessions, replacing the default 12-attempt, 150ms-base
-// schedule. Zero-valued fields keep their defaults.
-func WithResumeBackoff(b ResumeBackoff) DialOption {
-	return func(c *dialConfig) { c.backoff = b }
+// WithFallbackAddrs seeds the client with additional server addresses to
+// rotate to when its current address stops answering — on a sharded
+// fabric, any live shard redirects the client to its market's owner, so
+// listing every shard makes the client survive the death of the one it
+// happens to be pointed at. Redirect targets learned at runtime join the
+// same rotation set automatically.
+func WithFallbackAddrs(addrs ...string) DialOption {
+	return func(c *dialConfig) { c.fallbacks = append(c.fallbacks, addrs...) }
 }
 
 // WithCodec selects the wire framing: CodecGob (default, Go-native) or
@@ -206,10 +172,39 @@ type Client struct {
 	// client learns the market's current home from redirect answers and
 	// re-points itself, so concurrent Bargain calls must read a coherent
 	// address and share the warm connections at it.
-	mu      sync.Mutex
-	addr    string
-	pool    map[string][]*wire.MuxConn
-	pending map[string]int // in-flight dials per addr, so racing callers don't overshoot the pool cap
+	mu       sync.Mutex
+	addr     string
+	pool     map[string][]*wire.MuxConn
+	pending  map[string]int // in-flight dials per addr, so racing callers don't overshoot the pool cap
+	breakers map[string]*breaker
+	known    []string // every address seen (dial, fallbacks, redirects), in discovery order — the failover rotation set
+}
+
+// noteAddr adds addr to the failover rotation set, once.
+func (c *Client) noteAddr(addr string) {
+	if addr == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, a := range c.known {
+		if a == addr {
+			return
+		}
+	}
+	c.known = append(c.known, addr)
+}
+
+// nextAddr returns the first known address not yet tried this attempt.
+func (c *Client) nextAddr(tried map[string]bool) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, a := range c.known {
+		if !tried[a] {
+			return a, true
+		}
+	}
+	return "", false
 }
 
 // Addr returns the address the client currently dials — the Dial address
@@ -244,12 +239,41 @@ func Dial(ctx context.Context, addr string, opts ...DialOption) (*Client, error)
 		return nil, fmt.Errorf("vflmarket: %w", err)
 	}
 	c := &Client{
-		addr:    addr,
-		cfg:     cfg,
-		pool:    make(map[string][]*wire.MuxConn),
-		pending: make(map[string]int),
+		addr:     addr,
+		cfg:      cfg,
+		pool:     make(map[string][]*wire.MuxConn),
+		pending:  make(map[string]int),
+		breakers: make(map[string]*breaker),
 	}
-	mc, err := c.connectMux(ctx)
+	c.noteAddr(addr)
+	for _, a := range cfg.fallbacks {
+		c.noteAddr(a)
+	}
+	// The initial connect retries transport-class failures (a shard mid
+	// restart, a connection reset in the handshake) on the shared policy,
+	// capped tighter than a session's resume loop — a Dial against a truly
+	// dead fleet should fail in a bounded handful of attempts. Busy and
+	// rejection answers come from a live server and surface immediately.
+	bo := cfg.backoff.withDefaults()
+	attempts := bo.Attempts
+	if attempts > 3 {
+		attempts = 3
+	}
+	var mc *wire.MuxConn
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(bo.wait(attempt)):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("vflmarket: dial abandoned: %w", context.Cause(ctx))
+			}
+		}
+		mc, err = c.connectMux(ctx)
+		if err == nil || !transportErr(err) || ctx.Err() != nil {
+			break
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -312,7 +336,10 @@ func (c *Client) dialMux(ctx context.Context, addr string) (*wire.MuxConn, error
 
 // muxFor returns a live pooled connection to addr, pruning dead ones and
 // dialing a fresh connection while the pool is under its per-address cap.
-// At the cap, sessions pile onto the least-loaded pooled connection.
+// At the cap, sessions pile onto the least-loaded pooled connection. Every
+// dial passes through addr's circuit breaker: a tripped breaker fast-fails
+// with ErrCircuitOpen instead of hammering a dead address — unless a live
+// pooled connection exists, which is always preferred anyway.
 func (c *Client) muxFor(ctx context.Context, addr string) (*wire.MuxConn, error) {
 	c.mu.Lock()
 	live := c.pool[addr][:0]
@@ -323,21 +350,51 @@ func (c *Client) muxFor(ctx context.Context, addr string) (*wire.MuxConn, error)
 		live = append(live, mc)
 	}
 	c.pool[addr] = live
-	if len(live) > 0 && len(live)+c.pending[addr] >= c.cfg.connsPerAddr {
-		best := live[0]
+	best := func() *wire.MuxConn {
+		b := live[0]
 		for _, mc := range live[1:] {
-			if mc.Active() < best.Active() {
-				best = mc
+			if mc.Active() < b.Active() {
+				b = mc
 			}
 		}
-		c.mu.Unlock()
-		return best, nil
+		return b
 	}
+	if len(live) > 0 && len(live)+c.pending[addr] >= c.cfg.connsPerAddr {
+		mc := best()
+		c.mu.Unlock()
+		return mc, nil
+	}
+	c.mu.Unlock()
+
+	br := c.breakerFor(addr)
+	if berr := br.allow(); berr != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if len(live) > 0 {
+			return best(), nil // suppressed dial, but a warm conn still flows
+		}
+		return nil, fmt.Errorf("%w (%s)", berr, addr)
+	}
+
+	c.mu.Lock()
 	c.pending[addr]++
 	c.mu.Unlock()
 
 	mc, err := c.dialMux(ctx, addr)
 
+	if err == nil {
+		br.success()
+	} else if ctx.Err() == nil && wire.IsTransportError(err) {
+		// Only pipe-level failures count against the address: redirects,
+		// busy, and rejection envelopes are a live server answering, and a
+		// cancelled dial says nothing about its health.
+		br.failure()
+	} else {
+		// A non-transport failure (cancellation, redirect, busy…) neither
+		// opens nor closes the breaker, but it must release a claimed
+		// half-open probe slot so the next dial can still probe.
+		br.releaseProbe()
+	}
 	c.mu.Lock()
 	c.pending[addr]--
 	if err == nil {
@@ -367,17 +424,42 @@ func (c *Client) dropConn(dead *wire.MuxConn) {
 // fabric shard that does not own the client's market answers the mux
 // handshake with its owner's address, and the client re-dials there and
 // remembers the address — populating the pool at the market's true home.
+//
+// A dead address does not end the attempt: the client rotates through its
+// known addresses (the dial address, WithFallbackAddrs seeds, and every
+// redirect target it has seen), each tried at most once per call. On a
+// fabric this is shard failover from the client's seat — any surviving
+// shard routes it to the market's new owner.
 func (c *Client) connectMux(ctx context.Context) (*wire.MuxConn, error) {
-	for hop := 0; ; hop++ {
-		mc, err := c.muxFor(ctx, c.Addr())
+	tried := make(map[string]bool)
+	redirects := 0
+	for {
+		addr := c.Addr()
+		mc, err := c.muxFor(ctx, addr)
 		if err == nil {
 			return mc, nil
 		}
 		var rd *wire.RedirectError
-		if !errors.As(err, &rd) || rd.Addr == "" || hop >= maxRedirectHops {
+		if errors.As(err, &rd) && rd.Addr != "" {
+			if redirects >= maxRedirectHops {
+				return nil, err
+			}
+			redirects++
+			c.noteAddr(rd.Addr)
+			c.setAddr(rd.Addr)
+			continue
+		}
+		// Busy and rejection are a live server's word — surface them. So is
+		// the caller's cancellation.
+		if !transportErr(err) || ctx.Err() != nil {
 			return nil, err
 		}
-		c.setAddr(rd.Addr)
+		tried[addr] = true
+		next, ok := c.nextAddr(tried)
+		if !ok {
+			return nil, err
+		}
+		c.setAddr(next)
 	}
 }
 
@@ -406,6 +488,7 @@ func (c *Client) openSession(ctx context.Context, hs wire.ClientHello) (*wire.Mu
 		var rd *wire.RedirectError
 		if errors.As(err, &rd) && rd.Addr != "" && hop < maxRedirectHops {
 			hop++
+			c.noteAddr(rd.Addr)
 			c.setAddr(rd.Addr)
 			continue
 		}
@@ -417,25 +500,60 @@ func (c *Client) openSession(ctx context.Context, hs wire.ClientHello) (*wire.Mu
 // per-market counters, and the shard-map epoch on fabric shards — over a
 // stats stream on a pooled connection; no extra dial. The fabric's
 // rebalancer reads shards the same way on its own fresh connections.
+//
+// The per-attempt receive timeout is derived from ctx: a ctx deadline
+// tighter than the session timeout bounds each attempt, so a probe
+// against a stalled shard honors the caller's budget instead of the raw
+// connection deadline. Transport-dead connections are retried on the
+// shared policy, capped at three attempts.
 func (c *Client) Stats(ctx context.Context) (*StatsReport, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	for attempt := 0; ; attempt++ {
+	timeout := c.cfg.ioTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		if remain := time.Until(dl); timeout <= 0 || remain < timeout {
+			timeout = remain
+		}
+	}
+	if timeout < 0 {
+		timeout = time.Nanosecond // expired budget: fail fast, not hang
+	}
+	bo := c.cfg.backoff.withDefaults()
+	attempts := bo.Attempts
+	if attempts > 3 {
+		attempts = 3
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(bo.wait(attempt)):
+			case <-ctx.Done():
+				return nil, wrapCtx(ctx, lastErr)
+			}
+		}
 		mc, err := c.connectMux(ctx)
 		if err != nil {
+			lastErr = err
+			if transportErr(err) && ctx.Err() == nil {
+				continue
+			}
 			return nil, wrapCtx(ctx, err)
 		}
-		rep, err := mc.Stats(ctx, c.cfg.ioTimeout)
+		rep, err := mc.Stats(ctx, timeout)
 		if err == nil {
 			return rep, nil
 		}
-		if mc.Err() != nil && attempt == 0 {
+		lastErr = err
+		if mc.Err() != nil {
 			c.dropConn(mc)
-			continue
 		}
-		return nil, wrapCtx(ctx, err)
+		if !transportErr(err) || ctx.Err() != nil {
+			return nil, wrapCtx(ctx, err)
+		}
 	}
+	return nil, wrapCtx(ctx, lastErr)
 }
 
 // Market returns the resolved market name this client bargains in.
@@ -597,18 +715,43 @@ func (c *Client) bargainImperfect(ctx context.Context, cfg SessionConfig, params
 // BargainWith plays one session with a fully custom session configuration,
 // mirroring Engine.BargainWith. gains may be nil when the Client was
 // dialed with WithGains.
+//
+// Perfect-information sessions are stateless on the server and
+// deterministic for a given seed, so a session killed by a transport
+// fault, a busy refusal, or a mid-session eviction is simply replayed
+// from scratch on the retry policy — the result of a retried session is
+// bit-identical to one that never failed. Rejections and cancellation
+// surface immediately.
 func (c *Client) BargainWith(ctx context.Context, cfg SessionConfig, gains GainProvider, obs ...RoundObserver) (*Result, error) {
-	var res *Result
-	err := c.withSession(ctx, gains, wire.ClientHello{Market: c.cfg.market},
-		func(ctx context.Context, tc *wire.TaskClient, codec wire.Codec, hello *wire.Hello) error {
-			var err error
-			res, err = tc.BargainCodec(ctx, codec, hello)
-			return err
-		}, cfg, obs)
-	if err != nil {
-		return nil, err
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return res, nil
+	bo := c.cfg.backoff.withDefaults()
+	var res *Result
+	var err error
+	for attempt := 0; attempt < bo.Attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(bo.wait(attempt)):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("vflmarket: bargaining abandoned: %w", context.Cause(ctx))
+			}
+		}
+		res = nil
+		err = c.withSession(ctx, gains, wire.ClientHello{Market: c.cfg.market},
+			func(ctx context.Context, tc *wire.TaskClient, codec wire.Codec, hello *wire.Hello) error {
+				var serr error
+				res, serr = tc.BargainCodec(ctx, codec, hello)
+				return serr
+			}, cfg, obs)
+		if err == nil {
+			return res, nil
+		}
+		if !retryableErr(err) || ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	return nil, err
 }
 
 // BargainBatch plays one perfect-information session per spec across a
@@ -724,6 +867,20 @@ func (c *Client) withSession(ctx context.Context, gains GainProvider, hs wire.Cl
 	}
 	s.CloseClean()
 	return nil
+}
+
+// transportErr reports failures of the pipe itself — the peer vanished,
+// stalled, or reset, or the local breaker suppressed the dial. The server
+// answered nothing; another attempt answers the question.
+func transportErr(err error) bool {
+	return wire.IsTransportError(err) || errors.Is(err, ErrCircuitOpen)
+}
+
+// retryableErr widens transportErr with the answers a live server gives
+// that a later attempt can heal: saturation (busy), eviction (surfaced as
+// busy mid-migration), and redirect churn while a market re-homes.
+func retryableErr(err error) bool {
+	return transportErr(err) || errors.Is(err, ErrServerBusy) || errors.Is(err, wire.ErrRedirected)
 }
 
 // wrapCtx prefers the context's cause when a transport error was really a

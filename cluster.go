@@ -7,6 +7,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -43,6 +44,9 @@ type clusterShard struct {
 	ln     net.Listener
 	cancel context.CancelFunc
 	done   chan error
+	// stopped marks a shard killed by StopShard: its Serve goroutine has
+	// been reaped and Close must not wait on it again.
+	stopped bool
 }
 
 // Cluster is a sharded market fabric in one process: N shards, each a full
@@ -176,9 +180,7 @@ func (c *Cluster) fetchStats(ctx context.Context, shard fabric.Shard) (*wire.Sta
 		return nil, err
 	}
 	defer conn.Close()
-	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
-	defer stop()
-	return wire.FetchStats(conn, c.codec, c.timeout)
+	return wire.FetchStats(ctx, conn, c.codec, c.timeout)
 }
 
 // Register places a market on the shard the registry assigns it and builds
@@ -240,10 +242,13 @@ func (c *Cluster) Shard(id int) (*Server, error) {
 
 // Dial connects a client to the market's owner shard. Dialing any shard
 // address directly also works — the fabric redirects — but going straight
-// to the owner saves the hop.
+// to the owner saves the hop. Every shard address rides along as a
+// fallback, so the client survives its owner dying mid-session: the
+// rotation lands it on a survivor, whose redirect names the new owner.
 func (c *Cluster) Dial(ctx context.Context, market string, opts ...DialOption) (*Client, error) {
 	owner, _ := c.reg.Owner(market)
-	return Dial(ctx, owner.Addr, append([]DialOption{WithMarket(market)}, opts...)...)
+	base := []DialOption{WithMarket(market), WithFallbackAddrs(c.Addrs()...)}
+	return Dial(ctx, owner.Addr, append(base, opts...)...)
 }
 
 // Stats polls every shard's metrics snapshot over the wire, keyed by shard
@@ -256,6 +261,122 @@ func (c *Cluster) Stats(ctx context.Context) map[int]*StatsReport {
 		}
 	}
 	return out
+}
+
+// Health probes every shard's admin endpoint over the wire — a real
+// KindStats exchange, not an in-process check, so it sees exactly what a
+// remote operator would: a wedged or dead shard reads false even while
+// its process object still exists. Each probe is bounded at 2 seconds
+// (tighter if ctx expires sooner).
+func (c *Cluster) Health(ctx context.Context) map[int]bool {
+	out := make(map[int]bool, len(c.shards))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, sh := range c.shards {
+		wg.Add(1)
+		go func(sh *clusterShard) {
+			defer wg.Done()
+			probeCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			defer cancel()
+			_, err := c.fetchStats(probeCtx, sh.shard)
+			mu.Lock()
+			out[sh.shard.ID] = err == nil
+			mu.Unlock()
+		}(sh)
+	}
+	wg.Wait()
+	return out
+}
+
+// StopShard kills one shard abruptly: the listener closes, every live
+// connection — multiplexed and serial — is hard-severed, and the Serve
+// goroutine is reaped. In-flight sessions die with transport errors, the
+// shard's final durable state flushes on the way down, and the registry
+// still names the corpse as owner until Failover re-homes its markets.
+// This is the failover drill's kill switch.
+func (c *Cluster) StopShard(id int) error {
+	if id < 0 || id >= len(c.shards) {
+		return fmt.Errorf("vflmarket: no shard %d (have %d)", id, len(c.shards))
+	}
+	sh := c.shards[id]
+	if sh.stopped {
+		return nil
+	}
+	if sh.cancel != nil {
+		sh.cancel()
+	}
+	sh.server.Sever()
+	if sh.done != nil {
+		<-sh.done
+		sh.done = nil
+	}
+	sh.stopped = true
+	return nil
+}
+
+// Failover re-homes every market owned by a dead shard onto the survivors,
+// round-robin in market-name order: each market is marked moving in the
+// registry (stragglers back off on busy), its durable snapshots are copied
+// out of the dead shard's state directory, an engine opens warm on the
+// survivor, and the move commits — after which redirects point at the new
+// owner and severed clients' resume loops land there, continuing
+// mid-bargain from the last settled checkpoint. Unlike Migrate there is no
+// source eviction: the owner is already dead, its sessions already
+// severed. The executed transfers are returned; an error aborts the
+// in-flight move (the registry re-points at the dead shard — no better
+// owner exists) and returns the moves completed so far.
+func (c *Cluster) Failover(ctx context.Context, dead int) ([]Transfer, error) {
+	if dead < 0 || dead >= len(c.shards) {
+		return nil, fmt.Errorf("vflmarket: no shard %d (have %d)", dead, len(c.shards))
+	}
+	var survivors []*clusterShard
+	for _, sh := range c.shards {
+		if sh.shard.ID != dead && !sh.stopped {
+			survivors = append(survivors, sh)
+		}
+	}
+	if len(survivors) == 0 {
+		return nil, fmt.Errorf("vflmarket: failover of shard %d: no surviving shards", dead)
+	}
+	c.mu.Lock()
+	var doomed []string
+	for m := range c.markets {
+		if owner, _ := c.reg.Owner(m); owner.ID == dead {
+			doomed = append(doomed, m)
+		}
+	}
+	c.mu.Unlock()
+	sort.Strings(doomed)
+
+	src := c.shards[dead]
+	out := make([]Transfer, 0, len(doomed))
+	for i, market := range doomed {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		dst := survivors[i%len(survivors)]
+		if _, err := c.reg.BeginMove(market, dst.shard.ID); err != nil {
+			return out, err
+		}
+		if err := copyMarketSnapshots(src.shard.StateDir, dst.shard.StateDir, market); err != nil {
+			c.reg.AbortMove(market)
+			return out, fmt.Errorf("vflmarket: failover %q: copy state: %w", market, err)
+		}
+		eng, err := c.factory(market, dst.state)
+		if err != nil {
+			c.reg.AbortMove(market)
+			return out, fmt.Errorf("vflmarket: failover %q: build engine: %w", market, err)
+		}
+		if err := dst.server.Register(market, eng); err != nil {
+			c.reg.AbortMove(market)
+			return out, fmt.Errorf("vflmarket: failover %q: open on shard %d: %w", market, dst.shard.ID, err)
+		}
+		if _, err := c.reg.CommitMove(market); err != nil {
+			return out, err
+		}
+		out = append(out, Transfer{Market: market, From: dead, To: dst.shard.ID, Reason: "failover"})
+	}
+	return out, nil
 }
 
 // Migrate moves a market onto the given shard live: mark it moving in the

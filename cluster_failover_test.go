@@ -1,0 +1,169 @@
+package vflmarket
+
+// End-to-end tests of shard failover: health probes spotting a dead
+// shard, Failover re-homing its markets onto survivors from the dead
+// shard's state directory, and — the acceptance scenario — an in-flight
+// identified session riding the kill through its resume loop to finish
+// bit-identically to an uninterrupted run.
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestClusterHealthProbes: a live fleet answers every probe; after
+// StopShard the corpse probes false while the survivors stay true.
+func TestClusterHealthProbes(t *testing.T) {
+	cluster := startCluster(t, 3, "", "alpha", "beta")
+	for id, ok := range cluster.Health(context.Background()) {
+		if !ok {
+			t.Fatalf("live shard %d probes unhealthy", id)
+		}
+	}
+
+	const dead = 2
+	if err := cluster.StopShard(dead); err != nil {
+		t.Fatal(err)
+	}
+	h := cluster.Health(context.Background())
+	if len(h) != 3 {
+		t.Fatalf("health covers %d shards, want 3", len(h))
+	}
+	for id, ok := range h {
+		if id == dead && ok {
+			t.Fatalf("stopped shard %d still probes healthy", id)
+		}
+		if id != dead && !ok {
+			t.Fatalf("survivor %d probes unhealthy", id)
+		}
+	}
+	// StopShard is idempotent.
+	if err := cluster.StopShard(dead); err != nil {
+		t.Fatalf("second StopShard: %v", err)
+	}
+}
+
+// TestClusterFailoverBitIdentical is the failover drill: an identified
+// imperfect buyer bargains against the fabric; mid-exploration its
+// market's owner is killed abruptly (listener closed, every connection
+// severed, no eviction choreography) and Failover re-homes the market
+// onto a survivor from the dead shard's state directory. The client's
+// resume loop rides the kill — dead address, redirects to a corpse,
+// busy during the move — and finishes bit-identically to an
+// uninterrupted run, with zero failed sessions on any shard.
+func TestClusterFailoverBitIdentical(t *testing.T) {
+	engine := clusterEngine(t)
+	const seed = 59
+	params := imperfectTestParams
+	cfg := engine.SessionImperfect()
+	cfg.Seed = seed
+	want, err := engine.BargainImperfectWith(context.Background(), cfg, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rounds) < 4 {
+		t.Fatalf("reference session too short to cut: %d rounds", len(want.Rounds))
+	}
+	cut := want.Rounds[len(want.Rounds)/2].Round
+
+	cluster := startCluster(t, 3, stateTestDir(t), "titanic")
+	dead := cluster.Markets()["titanic"]
+
+	// The kill fires from the client's round observer the first time the
+	// session reaches the cut round — with the session live on the owner.
+	type failoverOut struct {
+		moves []Transfer
+		err   error
+	}
+	failedOver := make(chan failoverOut, 1)
+	var once sync.Once
+	trigger := func() {
+		once.Do(func() {
+			go func() {
+				if err := cluster.StopShard(dead); err != nil {
+					failedOver <- failoverOut{err: err}
+					return
+				}
+				moves, err := cluster.Failover(context.Background(), dead)
+				failedOver <- failoverOut{moves: moves, err: err}
+			}()
+		})
+	}
+
+	client, err := cluster.Dial(context.Background(), "titanic",
+		WithIdentity("buyer-9"),
+		WithSession(engine.SessionImperfect()),
+		WithGains(engine.CatalogGains()),
+		WithImperfect(params),
+		WithSessionTimeout(2*time.Second),
+		WithRetryPolicy(RetryPolicy{Attempts: 20, Base: 25 * time.Millisecond, Max: 300 * time.Millisecond}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	obs := ObserverFuncs{Round: func(rec RoundRecord) {
+		if rec.Round == cut {
+			trigger()
+		}
+	}}
+	got, err := client.BargainImperfect(context.Background(),
+		BargainOptions{Seed: seed, Observers: []RoundObserver{obs}})
+	if err != nil {
+		t.Fatalf("session across shard failover failed: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("failover session diverges from uninterrupted run:\nfailover: %+v\nwant:     %+v", got, want)
+	}
+
+	out := <-failedOver
+	if out.err != nil {
+		t.Fatalf("failover: %v", out.err)
+	}
+	if len(out.moves) != 1 {
+		t.Fatalf("failover executed %d transfers, want 1: %+v", len(out.moves), out.moves)
+	}
+	mv := out.moves[0]
+	if mv.Market != "titanic" || mv.From != dead || mv.To == dead || mv.Reason != "failover" {
+		t.Fatalf("transfer %+v, want titanic off shard %d with reason %q", mv, dead, "failover")
+	}
+	if owner := cluster.Markets()["titanic"]; owner != mv.To {
+		t.Fatalf("registry owner %d, want new home %d", owner, mv.To)
+	}
+
+	// The fleet saw a death and a recovery, not failures.
+	for id := 0; id < 3; id++ {
+		srv, err := cluster.Shard(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m := srv.Metrics(); m.Failed != 0 {
+			t.Fatalf("shard %d failed %d sessions, want 0", id, m.Failed)
+		}
+	}
+	dstSrv, err := cluster.Shard(mv.To)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm := dstSrv.MarketMetrics()["titanic"]; mm.ResumedSessions < 1 {
+		t.Fatalf("new owner granted %d resumes, want >= 1", mm.ResumedSessions)
+	}
+	for id, ok := range cluster.Health(context.Background()) {
+		if want := id != dead; ok != want {
+			t.Fatalf("post-failover health[%d] = %v, want %v", id, ok, want)
+		}
+	}
+
+	// A fresh dial finds the market at its new home.
+	probe, err := cluster.Dial(context.Background(), "titanic")
+	if err != nil {
+		t.Fatalf("dial after failover: %v", err)
+	}
+	defer probe.Close()
+	if gotAddr, wantAddr := probe.Addr(), cluster.Addrs()[mv.To]; gotAddr != wantAddr {
+		t.Fatalf("post-failover dial landed on %s, want %s", gotAddr, wantAddr)
+	}
+}

@@ -45,6 +45,7 @@ func main() {
 	synthetic := flag.Bool("synthetic", true, "use synthetic gains (fast startup)")
 	workers := flag.Int("workers", 0, "max concurrent sessions per shard (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-read/write IO deadline")
+	idle := flag.Duration("idletimeout", 0, "close idle multiplexed connections after this long (0 = 4x -timeout, negative = never)")
 	stateDir := flag.String("state", "", "fleet state root (each shard persists under DIR/shard-N; empty = memory-only)")
 	rebalance := flag.Duration("rebalance", 0, "rebalancer pass interval (0 = disabled)")
 	flag.Parse()
@@ -65,6 +66,7 @@ func main() {
 	cluster, err := vflmarket.NewCluster(*shards, *stateDir, factory,
 		vflmarket.WithWorkers(*workers),
 		vflmarket.WithIOTimeout(*timeout),
+		vflmarket.WithIdleTimeout(*idle),
 	)
 	if err != nil {
 		log.Fatal(err)

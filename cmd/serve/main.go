@@ -49,6 +49,7 @@ func main() {
 	noisePool := flag.Int("noisepool", 0, "per-market pool of precomputed Paillier randomizers with -secure (0 = default)")
 	eagerKeys := flag.Bool("eagerkeys", false, "generate Paillier keys at registration instead of in the background")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-read/write IO deadline")
+	idle := flag.Duration("idletimeout", 0, "close idle multiplexed connections after this long (0 = 4x -timeout, negative = never)")
 	stateDir := flag.String("state", "", "durable state directory (empty = memory-only)")
 	verbose := flag.Bool("v", false, "log every session")
 	flag.Parse()
@@ -59,6 +60,7 @@ func main() {
 	opts := []vflmarket.ServerOption{
 		vflmarket.WithWorkers(*workers),
 		vflmarket.WithIOTimeout(*timeout),
+		vflmarket.WithIdleTimeout(*idle),
 	}
 	if *secure {
 		opts = append(opts, vflmarket.WithSecureSettlement(*keyBits), vflmarket.WithNoisePool(*noisePool))

@@ -1,0 +1,169 @@
+// Package chaos is a deterministic fault-injection layer for the market
+// wire: a TCP proxy that sits between a client and a server and perturbs
+// the byte streams according to a seeded schedule.
+//
+// Determinism is the whole point. A Plan keys every fault off coordinates
+// that are reproducible across runs — the accept-order index of the
+// connection and a byte offset within one direction of its stream — never
+// off wall-clock time. Latency pauses and throttle rates do consume real
+// time when they fire, but *which* bytes they fire on is a pure function
+// of the plan, so a failing run is replayable from its seed alone.
+//
+// Fault model (Kind):
+//
+//   - Latency: pause forwarding for Wait when the stream reaches Onset.
+//   - Throttle: cap the forwarding rate to Rate bytes/sec inside the
+//     window [Onset, Onset+Span).
+//   - Partial: forward one byte per Write call inside the window —
+//     maximally unaligned partial writes / short reads for the peer.
+//   - Reset: hard-close both halves of the proxied connection once
+//     exactly Onset bytes have been forwarded in Dir.
+//   - Truncate: identical cut, framed as "deliver exactly Onset bytes" —
+//     aimed mid-frame so length-prefixed decoding sees a torn frame.
+//   - Corrupt: XOR Mask into the single byte at Onset (a bit flip the
+//     frame layer must surface as a typed error, not a panic).
+//   - Blackhole: a one-way partition — from Onset, silently swallow
+//     everything in Dir. The peer sees a wedged, not broken, pipe and
+//     must rely on its own timers. If Span > 0 the partition "heals" by
+//     resetting the connection after Span swallowed bytes, so pooled
+//     clients eventually observe a dead conn and re-dial.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	Latency Kind = iota
+	Throttle
+	Partial
+	Reset
+	Truncate
+	Corrupt
+	Blackhole
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Latency:
+		return "latency"
+	case Throttle:
+		return "throttle"
+	case Partial:
+		return "partial"
+	case Reset:
+		return "reset"
+	case Truncate:
+		return "truncate"
+	case Corrupt:
+		return "corrupt"
+	case Blackhole:
+		return "blackhole"
+	}
+	return fmt.Sprintf("chaos.Kind(%d)", int(k))
+}
+
+// Dir selects which half of the proxied stream a fault applies to.
+type Dir int
+
+const (
+	ClientToServer Dir = iota
+	ServerToClient
+)
+
+func (d Dir) String() string {
+	if d == ClientToServer {
+		return "c2s"
+	}
+	return "s2c"
+}
+
+// Fault is one scheduled perturbation. Conn is the accept-order index of
+// the proxied connection it targets (-1 targets every connection); Onset
+// is a byte offset within the Dir half of that connection's stream.
+type Fault struct {
+	Kind  Kind
+	Conn  int           // accept-order connection index; -1 = all
+	Dir   Dir           // which half of the stream
+	Onset int64         // byte offset at which the fault engages
+	Span  int64         // window length in bytes (Throttle/Partial/Blackhole)
+	Wait  time.Duration // pause length (Latency)
+	Rate  int64         // bytes/sec cap (Throttle)
+	Mask  byte          // XOR mask (Corrupt); 0 means 0xFF
+}
+
+func (f Fault) String() string {
+	return fmt.Sprintf("%s conn=%d %s onset=%d span=%d", f.Kind, f.Conn, f.Dir, f.Onset, f.Span)
+}
+
+// Plan is a replayable fault schedule.
+type Plan struct {
+	Faults []Fault
+}
+
+// forConn returns the faults targeting accept-index idx in direction d,
+// as a fresh slice (pumps track per-fault fired state on their copy).
+func (p *Plan) forConn(idx int, d Dir) []Fault {
+	if p == nil {
+		return nil
+	}
+	var out []Fault
+	for _, f := range p.Faults {
+		if (f.Conn == idx || f.Conn == -1) && f.Dir == d {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// retryableKinds is the default mix for NewPlan: every kind a correct
+// client survives by retrying/resuming. Corrupt is deliberately absent —
+// a flipped bit inside a frame is a protocol violation by the time the
+// peer decodes it, so it is scheduled explicitly by tests that assert
+// typed-error surfacing rather than bit-identical recovery.
+var retryableKinds = []Kind{Latency, Throttle, Partial, Reset, Truncate, Blackhole}
+
+// NewPlan derives a mixed fault schedule from seed covering the first
+// conns accept-order connections: each targeted connection gets one fault
+// whose kind, direction, onset, and parameters are drawn from a PRNG
+// seeded only by seed. Same seed, same schedule — byte for byte.
+//
+// Onsets land in [2 KiB, 32 KiB): past any handshake, inside the body of
+// a multi-round session. If kinds is empty the retryable mix is used.
+func NewPlan(seed uint64, conns int, kinds ...Kind) *Plan {
+	if len(kinds) == 0 {
+		kinds = retryableKinds
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	p := &Plan{}
+	for i := 0; i < conns; i++ {
+		f := Fault{
+			Kind:  kinds[rng.Intn(len(kinds))],
+			Conn:  i,
+			Dir:   Dir(rng.Intn(2)),
+			Onset: 2048 + rng.Int63n(30*1024),
+		}
+		switch f.Kind {
+		case Latency:
+			f.Wait = time.Duration(10+rng.Intn(60)) * time.Millisecond
+		case Throttle:
+			f.Span = 1024 + rng.Int63n(2048)
+			f.Rate = 16 * 1024 * (1 + rng.Int63n(4))
+		case Partial:
+			f.Span = 512 + rng.Int63n(1024)
+		case Blackhole:
+			// Heal (reset) after a few swallowed bytes so pooled conns die
+			// visibly instead of wedging every retry behind a timer.
+			f.Span = 256 + rng.Int63n(512)
+		case Corrupt:
+			f.Mask = byte(1 + rng.Intn(255))
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	return p
+}

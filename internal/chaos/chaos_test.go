@@ -1,0 +1,213 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// Same seed, same schedule — the replayability contract NewPlan exists for.
+func TestPlanDeterministic(t *testing.T) {
+	a := NewPlan(42, 16)
+	b := NewPlan(42, 16)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n%v\n%v", a.Faults, b.Faults)
+	}
+	c := NewPlan(43, 16)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	for _, f := range a.Faults {
+		if f.Onset < 2048 {
+			t.Fatalf("onset %d inside handshake guard band", f.Onset)
+		}
+		if f.Kind == Corrupt {
+			t.Fatalf("default mix scheduled a Corrupt fault: %v", f)
+		}
+	}
+}
+
+// echoUpstream accepts connections and echoes bytes back verbatim.
+func echoUpstream(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				io.Copy(conn, conn)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", p.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// A clean plan forwards byte streams untouched in both directions.
+func TestProxyTransparent(t *testing.T) {
+	p, err := NewProxy(echoUpstream(t), &Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn := dialProxy(t, p)
+
+	msg := bytes.Repeat([]byte("vflmarket"), 500)
+	go conn.Write(msg)
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatalf("echo through clean proxy: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("clean proxy altered the stream")
+	}
+	if p.Triggered() != 0 {
+		t.Fatalf("clean plan triggered %d faults", p.Triggered())
+	}
+}
+
+// Truncate delivers exactly Onset bytes then cuts the conn.
+func TestProxyTruncateExactOffset(t *testing.T) {
+	const cut = 1000
+	plan := &Plan{Faults: []Fault{{Kind: Truncate, Conn: 0, Dir: ServerToClient, Onset: cut}}}
+	p, err := NewProxy(echoUpstream(t), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn := dialProxy(t, p)
+
+	msg := make([]byte, 4096)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	go conn.Write(msg)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, _ := io.ReadAll(conn)
+	if len(got) != cut {
+		t.Fatalf("received %d bytes through truncating proxy, want exactly %d", len(got), cut)
+	}
+	if !bytes.Equal(got, msg[:cut]) {
+		t.Fatal("delivered prefix was altered")
+	}
+	if p.Triggered() != 1 {
+		t.Fatalf("triggered = %d, want 1", p.Triggered())
+	}
+}
+
+// Corrupt flips exactly the scheduled byte and nothing else.
+func TestProxyCorruptSingleByte(t *testing.T) {
+	const at, mask = 512, byte(0x41)
+	plan := &Plan{Faults: []Fault{{Kind: Corrupt, Conn: 0, Dir: ClientToServer, Onset: at, Mask: mask}}}
+	p, err := NewProxy(echoUpstream(t), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn := dialProxy(t, p)
+
+	msg := make([]byte, 2048)
+	go conn.Write(msg)
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, len(msg))
+	want[at] = mask
+	if !bytes.Equal(got, want) {
+		t.Fatal("corruption landed on the wrong byte(s)")
+	}
+}
+
+// A healing blackhole swallows Span bytes one-way, then resets the conn.
+func TestProxyBlackholeHealsAsReset(t *testing.T) {
+	plan := &Plan{Faults: []Fault{{Kind: Blackhole, Conn: 0, Dir: ServerToClient, Onset: 256, Span: 512}}}
+	p, err := NewProxy(echoUpstream(t), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn := dialProxy(t, p)
+
+	go conn.Write(make([]byte, 2048))
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, _ := io.ReadAll(conn) // reads until the healing reset closes the conn
+	if len(got) != 256 {
+		t.Fatalf("received %d bytes before blackhole, want 256", len(got))
+	}
+}
+
+// Partial-write and latency windows perturb timing but never content.
+func TestProxyPartialAndLatencyPreserveBytes(t *testing.T) {
+	plan := &Plan{Faults: []Fault{
+		{Kind: Latency, Conn: 0, Dir: ClientToServer, Onset: 100, Wait: 20 * time.Millisecond},
+		{Kind: Partial, Conn: 0, Dir: ServerToClient, Onset: 200, Span: 300},
+		{Kind: Throttle, Conn: 0, Dir: ServerToClient, Onset: 600, Span: 200, Rate: 64 * 1024},
+	}}
+	p, err := NewProxy(echoUpstream(t), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn := dialProxy(t, p)
+
+	msg := bytes.Repeat([]byte{0xAB, 0xCD}, 1024)
+	go conn.Write(msg)
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("timing faults altered stream content")
+	}
+	if p.Triggered() != 3 {
+		t.Fatalf("triggered = %d, want 3", p.Triggered())
+	}
+}
+
+// Faults address connections by accept order: conn 1's reset must not
+// touch conn 0.
+func TestProxyTargetsAcceptIndex(t *testing.T) {
+	plan := &Plan{Faults: []Fault{{Kind: Reset, Conn: 1, Dir: ClientToServer, Onset: 0}}}
+	p, err := NewProxy(echoUpstream(t), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c0 := dialProxy(t, p)
+	c1 := dialProxy(t, p)
+
+	c1.Write([]byte("x"))
+	c1.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c1.Read(make([]byte, 1)); err == nil {
+		t.Fatal("faulted conn 1 survived a reset at onset 0")
+	}
+
+	msg := []byte("still alive")
+	go c0.Write(msg)
+	got := make([]byte, len(msg))
+	c0.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c0, got); err != nil {
+		t.Fatalf("unfaulted conn 0 broken by sibling's fault: %v", err)
+	}
+}

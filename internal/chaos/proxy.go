@@ -1,0 +1,321 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a fault-injecting TCP proxy. Every accepted connection is
+// paired with a fresh upstream connection and two pump goroutines — one
+// per direction — each applying the plan's faults for that (accept index,
+// direction) at exact byte offsets.
+type Proxy struct {
+	ln       net.Listener
+	upstream string
+	plan     *Plan
+
+	mu       sync.Mutex
+	links    map[*link]struct{}
+	accepted int
+	closed   bool
+
+	triggered atomic.Int64
+	wg        sync.WaitGroup
+}
+
+// NewProxy listens on a fresh loopback port and forwards to upstream.
+func NewProxy(upstream string, plan *Plan) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, upstream: upstream, plan: plan, links: make(map[*link]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address — what chaos-tested clients dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Triggered reports how many scheduled faults have fired so far. Tests
+// use it to prove the run actually exercised the plan.
+func (p *Proxy) Triggered() int64 { return p.triggered.Load() }
+
+// Accepted reports how many downstream connections the proxy has paired.
+func (p *Proxy) Accepted() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.accepted
+}
+
+// Sever hard-closes every live proxied connection — an unscheduled
+// "pull the cable now" lever for tests that need a cut at a point in
+// control flow rather than at a byte offset.
+func (p *Proxy) Sever() {
+	p.mu.Lock()
+	live := make([]*link, 0, len(p.links))
+	for l := range p.links {
+		live = append(live, l)
+	}
+	p.mu.Unlock()
+	for _, l := range live {
+		l.abort()
+	}
+}
+
+// Close stops accepting, severs all live links, and waits for the pumps.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.Sever()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		down, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		idx := p.accepted
+		p.accepted++
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			down.Close()
+			return
+		}
+		up, err := net.DialTimeout("tcp", p.upstream, 10*time.Second)
+		if err != nil {
+			down.Close()
+			continue
+		}
+		l := &link{p: p, down: down, up: up}
+		p.mu.Lock()
+		p.links[l] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(2)
+		var half sync.WaitGroup
+		half.Add(2)
+		go func() {
+			defer p.wg.Done()
+			defer half.Done()
+			l.pump(up, down, p.plan.forConn(idx, ClientToServer))
+		}()
+		go func() {
+			defer p.wg.Done()
+			defer half.Done()
+			l.pump(down, up, p.plan.forConn(idx, ServerToClient))
+		}()
+		go func() {
+			half.Wait()
+			l.abort()
+			p.mu.Lock()
+			delete(p.links, l)
+			p.mu.Unlock()
+		}()
+	}
+}
+
+type link struct {
+	p        *Proxy
+	down, up net.Conn
+	once     sync.Once
+}
+
+// abort hard-closes both halves; idempotent.
+func (l *link) abort() {
+	l.once.Do(func() {
+		l.down.Close()
+		l.up.Close()
+	})
+}
+
+// halfClose propagates a clean EOF from src to dst where the transport
+// supports it, so the un-faulted direction keeps flowing.
+func halfClose(dst net.Conn) {
+	if tc, ok := dst.(*net.TCPConn); ok {
+		tc.CloseWrite()
+		return
+	}
+	dst.Close()
+}
+
+// pumpState tracks one direction's progress through its fault schedule.
+type pumpState struct {
+	faults    []Fault
+	fired     []bool
+	off       int64
+	blackhole bool
+	bhEnd     int64 // stream offset at which a healing blackhole resets; -1 = never
+}
+
+// nextEvent returns the distance (in bytes of the source stream) to the
+// nearest upcoming fault boundary, bounding how much may be read at once
+// so point faults land on exact offsets.
+func (s *pumpState) nextEvent() int64 {
+	const far = int64(1) << 50
+	next := far
+	for i, f := range s.faults {
+		if s.fired[i] && f.Kind != Throttle && f.Kind != Partial {
+			continue
+		}
+		switch f.Kind {
+		case Throttle, Partial:
+			if s.off < f.Onset {
+				next = min64(next, f.Onset-s.off)
+			} else if s.off < f.Onset+f.Span {
+				next = min64(next, f.Onset+f.Span-s.off)
+			}
+		default:
+			if f.Onset >= s.off {
+				next = min64(next, f.Onset-s.off)
+			}
+		}
+	}
+	if s.blackhole && s.bhEnd >= 0 {
+		next = min64(next, s.bhEnd-s.off)
+	}
+	if next <= 0 {
+		next = 1
+	}
+	return next
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// window reports whether windowed fault f is active at the current offset.
+func (s *pumpState) window(f Fault) bool {
+	return s.off >= f.Onset && s.off < f.Onset+f.Span
+}
+
+func (l *link) pump(dst, src net.Conn, faults []Fault) {
+	st := &pumpState{faults: faults, fired: make([]bool, len(faults)), bhEnd: -1}
+	buf := make([]byte, 4096)
+	for {
+		// Point faults engage the instant the stream reaches their onset,
+		// before any further bytes move.
+		for i, f := range st.faults {
+			if st.fired[i] || f.Onset != st.off {
+				continue
+			}
+			switch f.Kind {
+			case Latency:
+				st.fired[i] = true
+				l.p.triggered.Add(1)
+				time.Sleep(f.Wait)
+			case Reset, Truncate:
+				st.fired[i] = true
+				l.p.triggered.Add(1)
+				l.abort()
+				return
+			case Blackhole:
+				st.fired[i] = true
+				l.p.triggered.Add(1)
+				st.blackhole = true
+				if f.Span > 0 {
+					st.bhEnd = f.Onset + f.Span
+				}
+			}
+		}
+		if st.blackhole && st.bhEnd >= 0 && st.off >= st.bhEnd {
+			// Healing blackhole: the partition resolves as a reset so the
+			// client's pool sees a dead conn instead of an eternal wedge.
+			l.abort()
+			return
+		}
+
+		limit := st.nextEvent()
+		if limit > int64(len(buf)) {
+			limit = int64(len(buf))
+		}
+		n, err := src.Read(buf[:limit])
+		if n > 0 {
+			chunk := buf[:n]
+			for i, f := range st.faults {
+				if f.Kind == Corrupt && !st.fired[i] && f.Onset >= st.off && f.Onset < st.off+int64(n) {
+					st.fired[i] = true
+					l.p.triggered.Add(1)
+					mask := f.Mask
+					if mask == 0 {
+						mask = 0xFF
+					}
+					chunk[f.Onset-st.off] ^= mask
+				}
+			}
+			if st.blackhole {
+				st.off += int64(n) // swallowed, never written
+			} else if werr := l.write(dst, chunk, st); werr != nil {
+				l.abort()
+				return
+			} else {
+				st.off += int64(n)
+			}
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				halfClose(dst)
+			} else {
+				l.abort()
+			}
+			return
+		}
+	}
+}
+
+// write forwards one chunk, honoring any active Partial or Throttle
+// window (windowed faults count as triggered on first effect).
+func (l *link) write(dst net.Conn, chunk []byte, st *pumpState) error {
+	partial, throttle := false, int64(0)
+	for i, f := range st.faults {
+		if !st.window(f) {
+			continue
+		}
+		switch f.Kind {
+		case Partial:
+			partial = true
+			if !st.fired[i] {
+				st.fired[i] = true
+				l.p.triggered.Add(1)
+			}
+		case Throttle:
+			throttle = f.Rate
+			if !st.fired[i] {
+				st.fired[i] = true
+				l.p.triggered.Add(1)
+			}
+		}
+	}
+	if throttle > 0 {
+		time.Sleep(time.Duration(int64(len(chunk)) * int64(time.Second) / throttle))
+	}
+	if partial {
+		for i := range chunk {
+			if _, err := dst.Write(chunk[i : i+1]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	_, err := dst.Write(chunk)
+	return err
+}

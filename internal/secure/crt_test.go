@@ -133,9 +133,9 @@ func TestCRTDecryptRangeEdges(t *testing.T) {
 	edges := []*big.Int{
 		big.NewInt(0),
 		big.NewInt(1),
-		new(big.Int).Sub(sk.N, one),         // most negative in the signed view
-		new(big.Int).Set(half),              // largest positive
-		new(big.Int).Add(half, one),         // smallest negative magnitude side
+		new(big.Int).Sub(sk.N, one), // most negative in the signed view
+		new(big.Int).Set(half),      // largest positive
+		new(big.Int).Add(half, one), // smallest negative magnitude side
 		new(big.Int).Sub(half, big.NewInt(1)),
 	}
 	for _, v := range []float64{-0.05, -123.456789, 0.000001, -0.000001} {

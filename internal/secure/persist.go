@@ -5,8 +5,11 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"log"
 	"math/big"
 	"sync"
+
+	"repro/internal/store"
 )
 
 // KeyStore is the slice of the durable store key persistence needs: named,
@@ -14,6 +17,13 @@ import (
 type KeyStore interface {
 	Save(name string, version uint32, payload []byte) error
 	Load(name string, maxVersion uint32) (payload []byte, version uint32, err error)
+}
+
+// Quarantiner is the optional KeyStore extension that moves a damaged
+// snapshot aside. *store.Store satisfies it; backends without it simply
+// leave corrupt files in place (they still load cold).
+type Quarantiner interface {
+	Quarantine(name string) error
 }
 
 // keySchemaVersion is the payload schema of a persisted key record.
@@ -168,6 +178,14 @@ func (r *RotatingKey) load() (sk *PrivateKey, gen int, ok bool) {
 	}
 	payload, _, err := r.st.Load(r.name, keySchemaVersion)
 	if err != nil {
+		// A damaged key snapshot is quarantined aside (when the backend can)
+		// so the fresh key about to be generated and persisted is not
+		// shadowed by the corpse, and the operator sees the disposition.
+		if q, ok := r.st.(Quarantiner); ok && store.IsCorrupt(err) {
+			if qerr := q.Quarantine(r.name); qerr == nil {
+				log.Printf("secure: quarantined corrupt key snapshot %s: %v", r.name, err)
+			}
+		}
 		return nil, 0, false
 	}
 	var rec keyRecord

@@ -31,6 +31,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Sentinel errors distinguishing why a snapshot could not be loaded. All of
@@ -76,6 +77,8 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // complete snapshot wins the rename).
 type Store struct {
 	dir string
+
+	quarantined atomic.Uint64
 }
 
 // Open returns a Store rooted at dir, creating the directory if needed.
@@ -222,6 +225,40 @@ func decode(raw []byte, name string, maxVersion uint32) ([]byte, uint32, error) 
 	}
 	return body[headerLen:], pv, nil
 }
+
+// IsCorrupt reports whether a Load error means the snapshot file exists
+// but is damaged — truncated, checksum mismatch, or not a snapshot at
+// all. Version errors are NOT corruption: the file may be a newer
+// process's perfectly good data, and quarantining it would destroy state
+// a rollback still needs. Absence is not corruption either.
+func IsCorrupt(err error) bool {
+	return errors.Is(err, ErrTruncated) || errors.Is(err, ErrChecksum) || errors.Is(err, ErrMagic)
+}
+
+// Quarantine moves a damaged snapshot aside instead of deleting it: the
+// file is renamed to <file>.corrupt — a suffix Load and List never match,
+// so the next load of that name is a clean ErrNotExist miss — while the
+// damaged bytes survive for forensics. A repeat quarantine of the same
+// name overwrites the previous sidecar; quarantining a snapshot that does
+// not exist is a no-op.
+func (s *Store) Quarantine(name string) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	path := s.Path(name)
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("store: quarantine %s: %w", name, err)
+	}
+	s.quarantined.Add(1)
+	return nil
+}
+
+// Quarantined reports how many snapshots this store has quarantined since
+// it opened.
+func (s *Store) Quarantined() uint64 { return s.quarantined.Load() }
 
 // Remove deletes a snapshot. Removing a snapshot that does not exist is not
 // an error.

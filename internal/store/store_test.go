@@ -176,6 +176,42 @@ func TestRemove(t *testing.T) {
 	}
 }
 
+// TestQuarantine: a damaged snapshot is renamed aside — Load then misses
+// cleanly, List never names it, the counter ticks — while the bytes
+// survive for forensics. Quarantining a missing snapshot is a no-op.
+func TestQuarantine(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	if err := s.Save("estimators/t/buyer", 1, []byte("damaged goods")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quarantine("estimators/t/buyer"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(s.Path("estimators/t/buyer") + ".corrupt"); err != nil {
+		t.Fatalf("quarantine sidecar missing: %v", err)
+	}
+	if _, _, err := s.Load("estimators/t/buyer", 1); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("load after quarantine: got %v, want ErrNotExist", err)
+	}
+	if all, _ := s.List(""); len(all) != 0 {
+		t.Fatalf("List still names quarantined snapshots: %v", all)
+	}
+	if n := s.Quarantined(); n != 1 {
+		t.Fatalf("Quarantined() = %d, want 1", n)
+	}
+	// Missing snapshot: no-op, counter unmoved.
+	if err := s.Quarantine("estimators/t/buyer"); err != nil {
+		t.Fatalf("quarantine of a missing snapshot: %v", err)
+	}
+	if n := s.Quarantined(); n != 1 {
+		t.Fatalf("no-op quarantine bumped the counter to %d", n)
+	}
+	// Names are validated like every other store entry point.
+	if err := s.Quarantine("../escape"); err == nil {
+		t.Fatal("Quarantine accepted a path-escaping name")
+	}
+}
+
 // TestGoldenFormat pins the on-disk byte layout to a checked-in fixture:
 // if the framing ever changes (magic, header layout, checksum polynomial),
 // this test fails and forces a deliberate container-version bump instead of

@@ -6,7 +6,10 @@ import (
 	"encoding/gob"
 	"encoding/hex"
 	"fmt"
+	"log"
 	"sync"
+
+	"repro/internal/store"
 )
 
 // Snapshots is the slice of the durable store the registry needs: named,
@@ -15,6 +18,13 @@ import (
 type Snapshots interface {
 	Save(name string, version uint32, payload []byte) error
 	Load(name string, maxVersion uint32) (payload []byte, version uint32, err error)
+}
+
+// Quarantiner is the optional Snapshots extension that moves a damaged
+// snapshot aside. *store.Store satisfies it; backends without it leave
+// corrupt files in place (they still load cold).
+type Quarantiner interface {
+	Quarantine(name string) error
 }
 
 // memoSchemaVersion is the payload schema of a persisted oracle memo.
@@ -78,10 +88,18 @@ func (r *Registry) Oracle(key string, build func() *GainOracle) (*GainOracle, bo
 	o := build()
 	n := 0
 	if r.st != nil {
-		if payload, _, err := r.st.Load(memoName(key), memoSchemaVersion); err == nil {
+		name := memoName(key)
+		if payload, _, err := r.st.Load(name, memoSchemaVersion); err == nil {
 			var f memoFile
 			if gob.NewDecoder(bytes.NewReader(payload)).Decode(&f) == nil && f.Key == key {
 				n = o.ImportMemo(f.Memo)
+			}
+		} else if q, ok := r.st.(Quarantiner); ok && store.IsCorrupt(err) {
+			// A damaged memo loads cold either way; quarantining it aside
+			// keeps the next Flush's snapshot from racing a stale corpse and
+			// leaves the bytes for forensics.
+			if qerr := q.Quarantine(name); qerr == nil {
+				log.Printf("vfl: quarantined corrupt oracle memo %s: %v", name, err)
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"encoding/gob"
 	"encoding/json"
 	"errors"
@@ -9,6 +10,7 @@ import (
 	"io"
 	"net"
 	"strings"
+	"syscall"
 	"time"
 )
 
@@ -208,6 +210,35 @@ func classify(err error) error {
 		return fmt.Errorf("%w: %v", ErrPeerTimeout, err)
 	}
 	return err
+}
+
+// IsTransportError reports whether err is a transport-layer failure — the
+// peer vanished, stalled, reset, or walked away — as opposed to a protocol
+// violation (malformed envelopes, bad frames, decode garbage). The server
+// uses the distinction to count chaos-class session deaths as Dropped
+// rather than Failed: a client that crashes mid-session did nothing wrong
+// at the protocol level, and a fleet assertion of Failed==0 should survive
+// any amount of connection churn.
+func IsTransportError(err error) bool {
+	if err == nil {
+		return false
+	}
+	switch {
+	case errors.Is(err, ErrPeerTimeout),
+		errors.Is(err, ErrMuxClosed),
+		errors.Is(err, ErrSessionCancelled),
+		errors.Is(err, io.EOF),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, io.ErrClosedPipe),
+		errors.Is(err, net.ErrClosed),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.EPIPE),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
 }
 
 // deadlineConn arms a read/write deadline before every conn operation, so

@@ -7,6 +7,7 @@ package wire
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"net"
 	"reflect"
@@ -18,7 +19,8 @@ func fabricEnvelopes() []*Envelope {
 	return []*Envelope{
 		{Kind: KindRedirect, Redirect: &Redirect{Market: "titanic", Addr: "10.1.2.3:7070", Epoch: 17}},
 		{Kind: KindStats, Stats: &StatsReport{
-			Server: ServerStats{Accepted: 12, Sessions: 9, Closed: 7, Failed: 1, Busy: 2, Redirected: 3, Evicted: 1, Active: 2},
+			Server: ServerStats{Accepted: 12, Sessions: 9, Closed: 7, Failed: 1, Busy: 2, Redirected: 3,
+				Evicted: 1, Dropped: 4, Watchdog: 1, Quarantined: 1, Active: 2},
 			Markets: map[string]MarketStats{
 				"titanic": {Sessions: 6, ImperfectSessions: 2, ResumedSessions: 1, ActiveSessions: 1,
 					OracleTrainings: 4, OracleCachedGains: 32, OracleHits: 100, CheckpointedClients: 2},
@@ -115,7 +117,7 @@ func TestFetchStatsOverConnection(t *testing.T) {
 		}
 		_ = codec.Send(&Envelope{Kind: KindStats, Stats: want})
 	}()
-	got, err := FetchStats(clientConn, CodecGob, 5*time.Second)
+	got, err := FetchStats(context.Background(), clientConn, CodecGob, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -26,6 +27,12 @@ import (
 // fails the connection instead of provoking a giant allocation. Listings
 // are the largest envelopes and sit far below this.
 const maxFrameSize = 16 << 20
+
+// ErrBadFrame tags frame-layer violations — a zero or oversized length
+// prefix. Fuzzing and chaos tests match on it to prove a corrupted stream
+// fails the connection with a typed error rather than a panic or a giant
+// allocation.
+var ErrBadFrame = errors.New("wire: invalid frame")
 
 // connBufSize sizes the pooled bufio readers and writers on both ends of a
 // framed connection.
@@ -72,7 +79,7 @@ func (f *frameReader) next() error {
 	}
 	n := binary.BigEndian.Uint32(f.head[:])
 	if n == 0 || n > maxFrameSize {
-		return fmt.Errorf("wire: bad frame length %d", n)
+		return fmt.Errorf("%w: frame length %d", ErrBadFrame, n)
 	}
 	f.n = int(n)
 	return nil

@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// validFrameStream encodes envelopes through the real framed codec,
+// returning the exact bytes a peer would put on the wire.
+func validFrameStream(t testing.TB, codec string, envs ...*Envelope) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fc, err := newFramedCodec(codec, bufio.NewReader(eofReader{}), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range envs {
+		if err := fc.Send(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzFrameDecode feeds arbitrary bytes to the framed decoder: truncated,
+// oversized, zero-length, and bit-flipped frames must all surface as
+// errors — never a panic, a hang, or a giant allocation.
+func FuzzFrameDecode(f *testing.F) {
+	valid := validFrameStream(f, CodecGob,
+		&Envelope{Kind: KindClientHello, Client: &ClientHello{Version: ProtocolVersion, Market: "titanic"}},
+		&Envelope{Kind: KindQuote, Quote: &Quote{Round: 3, Rate: 12.5}},
+	)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // torn mid-frame
+	f.Add(valid[:2])            // torn mid-length-prefix
+	f.Add([]byte{0, 0, 0, 0})   // zero-length frame
+	oversize := make([]byte, 4)
+	binary.BigEndian.PutUint32(oversize, maxFrameSize+1)
+	f.Add(oversize) // hostile length prefix
+	corrupt := append([]byte(nil), valid...)
+	corrupt[7] ^= 0xFF
+	f.Add(corrupt) // bit flip inside a payload
+	f.Add(bytes.Repeat([]byte{0xA5}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, codec := range CodecNames() {
+			fc, err := newFramedCodec(codec, bufio.NewReader(bytes.NewReader(data)), io.Discard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Bounded decode loop: each Recv either yields an envelope or a
+			// typed/wrapped error; a stream of len(data) bytes can hold at
+			// most len(data)/5 non-empty frames, so this cannot spin.
+			for i := 0; i <= len(data)/5+1; i++ {
+				if _, err := fc.Recv(); err != nil {
+					break
+				}
+			}
+		}
+	})
+}
+
+// A zero or oversized length prefix is a typed ErrBadFrame, and a torn
+// frame surfaces as unexpected EOF — both transport-distinguishable from
+// codec garbage.
+func TestFrameDecodeTypedErrors(t *testing.T) {
+	recvErr := func(data []byte) error {
+		fc, err := newFramedCodec(CodecGob, bufio.NewReader(bytes.NewReader(data)), io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rerr := fc.Recv()
+		return rerr
+	}
+
+	if err := recvErr([]byte{0, 0, 0, 0}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("zero-length frame: err = %v, want ErrBadFrame", err)
+	}
+	oversize := make([]byte, 4)
+	binary.BigEndian.PutUint32(oversize, maxFrameSize+1)
+	if err := recvErr(oversize); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized frame: err = %v, want ErrBadFrame", err)
+	}
+	valid := validFrameStream(t, CodecGob, &Envelope{Kind: KindQuote, Quote: &Quote{Round: 1}})
+	if err := recvErr(valid[:len(valid)-2]); err == nil {
+		t.Fatal("torn frame decoded cleanly")
+	}
+}
+
+// The frame reader must never consume bytes beyond the frames its
+// envelopes occupy: after decoding everything, trailing bytes that belong
+// to the next protocol layer are still unread in the buffered reader.
+func TestFrameDecodeNoOverRead(t *testing.T) {
+	for _, codec := range CodecNames() {
+		t.Run(codec, func(t *testing.T) {
+			stream := validFrameStream(t, codec,
+				&Envelope{Kind: KindClientHello, Client: &ClientHello{Version: ProtocolVersion, Market: "adult"}},
+				&Envelope{Kind: KindQuote, Quote: &Quote{Round: 7, Rate: 3.25}},
+			)
+			trailer := []byte("TRAILING-BYTES-NOT-A-FRAME")
+			br := bufio.NewReader(bytes.NewReader(append(stream, trailer...)))
+			fc, err := newFramedCodec(codec, br, io.Discard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 2; i++ {
+				if _, err := fc.Recv(); err != nil {
+					t.Fatalf("envelope %d: %v", i, err)
+				}
+			}
+			got := make([]byte, len(trailer))
+			if _, err := io.ReadFull(br, got); err != nil {
+				t.Fatalf("reading trailer after frames: %v", err)
+			}
+			if !bytes.Equal(got, trailer) {
+				t.Fatalf("decoder over-read past the frame boundary: trailer = %q", got)
+			}
+		})
+	}
+}

@@ -38,6 +38,11 @@ var ErrMuxClosed = errors.New("wire: mux connection closed")
 // retry, landing on the new owner via redirect.
 var ErrSessionEvicted = errors.New("wire: session evicted")
 
+// ErrSessionCancelled reports a mux stream torn down because the peer sent
+// an explicit KindCancel for it — the client walked away, the server did
+// nothing wrong. Transport-class, not a protocol violation.
+var ErrSessionCancelled = errors.New("wire: session cancelled by peer")
+
 // MuxConn is the client end of a v6 multiplexed connection: one dial, one
 // handshake, many concurrent sessions. Safe for concurrent use.
 type MuxConn struct {
@@ -387,6 +392,7 @@ type MuxServerConn struct {
 	conn net.Conn
 	fc   *framedCodec
 	io   time.Duration
+	idle time.Duration
 	max  int
 
 	wmu sync.Mutex
@@ -400,15 +406,21 @@ type MuxServerConn struct {
 // NewMuxServerConn wraps a connection whose mux handshake AcceptHandshakeMux
 // already completed. maxSessions bounds concurrently open streams per
 // connection (<= 0 means unbounded); opens beyond it are answered KindBusy.
-func NewMuxServerConn(conn net.Conn, c Codec, ioTimeout time.Duration, maxSessions int) (*MuxServerConn, error) {
+// idle is the whole-connection read deadline between envelopes: 0 picks the
+// default of idleFactor x the IO timeout, < 0 disables the idle deadline.
+func NewMuxServerConn(conn net.Conn, c Codec, ioTimeout, idle time.Duration, maxSessions int) (*MuxServerConn, error) {
 	fc, ok := c.(*framedCodec)
 	if !ok {
 		return nil, fmt.Errorf("wire: mux serve needs the framed codec from AcceptHandshakeMux, got %T", c)
+	}
+	if idle == 0 && ioTimeout > 0 {
+		idle = idleFactor * ioTimeout
 	}
 	return &MuxServerConn{
 		conn:     conn,
 		fc:       fc,
 		io:       ioTimeout,
+		idle:     idle,
 		max:      maxSessions,
 		sessions: make(map[uint64]*MuxStream),
 	}, nil
@@ -426,14 +438,14 @@ func (sc *MuxServerConn) SendHello(h *Hello) error {
 // Serve runs the demux loop until the connection dies or is closed: every
 // KindOpen spawns handler in its own goroutine with a MuxStream scoped to
 // that session. Serve returns after all handlers have finished. The idle
-// read deadline is generous (idleFactor x the IO timeout) so active
-// streams' own receive timers fire first, while abandoned connections are
-// still reaped.
+// read deadline defaults to a generous idleFactor x the IO timeout (see
+// NewMuxServerConn) so active streams' own receive timers fire first,
+// while abandoned connections are still reaped.
 func (sc *MuxServerConn) Serve(handler func(st *MuxStream, ch *ClientHello)) error {
 	var wg sync.WaitGroup
-	idle := time.Duration(0)
-	if sc.io > 0 {
-		idle = idleFactor * sc.io
+	idle := sc.idle
+	if idle < 0 {
+		idle = 0
 	}
 	var err error
 	for {
@@ -471,7 +483,7 @@ func (sc *MuxServerConn) Serve(handler func(st *MuxStream, ch *ClientHello)) err
 			st := sc.sessions[e.SID]
 			sc.mu.Unlock()
 			if st != nil {
-				st.fail(fmt.Errorf("wire: session %d cancelled by peer", e.SID))
+				st.fail(fmt.Errorf("%w: session %d", ErrSessionCancelled, e.SID))
 			}
 		default:
 			sc.mu.Lock()

@@ -31,7 +31,7 @@ func startMuxEcho(t *testing.T, ioTimeout time.Duration) (*MuxConn, func()) {
 			t.Errorf("mux handshake: isMux=%v err=%v", isMux, err)
 			return
 		}
-		sc, err := NewMuxServerConn(conn, c, ioTimeout, 0)
+		sc, err := NewMuxServerConn(conn, c, ioTimeout, 0, 0)
 		if err != nil {
 			t.Error(err)
 			return
@@ -174,7 +174,7 @@ func TestMuxSessionCapAnswersBusy(t *testing.T) {
 		if err != nil {
 			return
 		}
-		sc, err := NewMuxServerConn(conn, c, ioTimeout, 1) // one stream only
+		sc, err := NewMuxServerConn(conn, c, ioTimeout, 0, 1) // one stream only
 		if err != nil {
 			return
 		}

@@ -314,15 +314,18 @@ type Redirect struct {
 // ServerStats is the server-totals half of the v5 stats envelope, mirroring
 // the frontend's counter snapshot field for field.
 type ServerStats struct {
-	Accepted   uint64
-	Sessions   uint64
-	Closed     uint64
-	Failed     uint64
-	Rejected   uint64
-	Busy       uint64
-	Redirected uint64
-	Evicted    uint64
-	Active     int64
+	Accepted    uint64
+	Sessions    uint64
+	Closed      uint64
+	Failed      uint64
+	Rejected    uint64
+	Busy        uint64
+	Redirected  uint64
+	Evicted     uint64
+	Dropped     uint64
+	Watchdog    uint64
+	Quarantined uint64
+	Active      int64
 }
 
 // MarketStats is one market's slice of the v5 stats envelope: session load

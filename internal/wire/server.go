@@ -283,7 +283,9 @@ func (s *DataServer) RotateKey() (pubN []byte, err error) {
 	if !s.Secure {
 		return nil, fmt.Errorf("wire: cannot rotate keys on a cleartext server")
 	}
-	rot, ok := s.keys.(interface{ Rotate() (*secure.PrivateKey, error) })
+	rot, ok := s.keys.(interface {
+		Rotate() (*secure.PrivateKey, error)
+	})
 	if !ok {
 		return nil, fmt.Errorf("wire: key provider %T does not support rotation", s.keys)
 	}

@@ -454,10 +454,10 @@ func TestServiceVersionMatrix(t *testing.T) {
 	}
 
 	for _, preamble := range []string{
-		"VFLM/7 json\n",    // future version
-		"VFLM/1 json\n",    // pre-handshake legacy has no preamble
+		"VFLM/7 json\n",     // future version
+		"VFLM/1 json\n",     // pre-handshake legacy has no preamble
 		"VFLM/5 json mux\n", // mux token is v6-only
-		"VFLM/6 xml\n",     // unknown codec
+		"VFLM/6 xml\n",      // unknown codec
 	} {
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {

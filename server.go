@@ -173,6 +173,21 @@ type ServerMetrics struct {
 	// owner. Not included in Failed: an evicted session is fabric
 	// choreography, not an error.
 	Evicted uint64
+	// Dropped counts sessions that ended on a transport fault — a peer
+	// timeout, a reset, a torn connection — as classified by the wire
+	// layer. Not included in Failed: a dropped session is the network's
+	// doing, and v4 identified clients resume it; Failed is reserved for
+	// protocol violations and engine errors.
+	Dropped uint64
+	// Watchdog counts sessions the server's progress watchdog severed: the
+	// session made no envelope progress (no successful send or receive)
+	// within the watchdog budget, so its carrier was closed to free the
+	// worker. Disjoint from Dropped and Failed.
+	Watchdog uint64
+	// Quarantined counts corrupt snapshots the durable state quarantined at
+	// load: the damaged file was renamed aside (.corrupt) and the entry
+	// treated as a cold miss instead of poisoning the boot.
+	Quarantined uint64
 	// Active is the number of sessions being served right now.
 	Active int64
 }
@@ -196,6 +211,8 @@ type serverConfig struct {
 	backlog        int
 	flushEvery     time.Duration
 	directory      MarketDirectory
+	idleTimeout    time.Duration
+	watchdog       time.Duration
 }
 
 // WithWorkers bounds the session worker pool: at most n sessions bargain
@@ -213,6 +230,27 @@ func WithIOTimeout(d time.Duration) ServerOption {
 			c.ioTimeout = d
 		}
 	}
+}
+
+// WithIdleTimeout bounds how long a multiplexed (v6) connection may sit
+// with no open sessions and no traffic before the server closes it. The
+// default is 4x the IO timeout; a negative d disables the idle deadline
+// (connections linger until the client closes or the server drains).
+// Serial connections are unaffected — they carry exactly one session,
+// already bounded by the IO timeout.
+func WithIdleTimeout(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.idleTimeout = d }
+}
+
+// WithWatchdogBudget sets the server's per-session progress budget: a
+// session that moves no envelope in either direction for d is severed by
+// the watchdog (its connection or stream is closed, the session counts as
+// Watchdog, not Failed). This is the backstop above the per-read IO
+// timeout — a peer trickling one byte per interval defeats a read
+// deadline but not the watchdog. The default is 4x the IO timeout; a
+// negative d disables the watchdog.
+func WithWatchdogBudget(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.watchdog = d }
 }
 
 // WithSecureSettlement enables §3.6 Paillier settlement on every market:
@@ -333,8 +371,14 @@ type Server struct {
 	state   *MarketState
 
 	accepted, sessions, closed, failed, rejected, busy atomic.Uint64
-	redirected, evicted                                atomic.Uint64
+	redirected, evicted, dropped, watchdog             atomic.Uint64
 	active                                             atomic.Int64
+
+	// wdMu guards the set of sessions the progress watchdog patrols. Each
+	// entry carries the session's last-progress timestamp and the closer
+	// severing it; the reaper goroutine in Serve sweeps the set.
+	wdMu       sync.Mutex
+	wdSessions map[*wdEntry]struct{}
 
 	// muxMu guards the registry of live v6 multiplexed connections. Mux
 	// conns serve sessions on their own goroutines, off the worker pool —
@@ -411,6 +455,118 @@ func (m *market) isEvicted() bool {
 	m.connMu.Lock()
 	defer m.connMu.Unlock()
 	return m.evicted
+}
+
+// sever closes every tracked session carrier WITHOUT marking the market
+// evicted: the chaos lever behind Server.Sever. Sessions die with
+// transport errors (counted Dropped), the market keeps serving redials.
+func (m *market) sever() {
+	m.connMu.Lock()
+	defer m.connMu.Unlock()
+	for c := range m.conns {
+		c.Close()
+	}
+}
+
+// Sever hard-closes every live connection of the server — multiplexed
+// conns and serial session carriers alike — without evicting any market
+// or stopping the listener. In-flight sessions die with transport errors
+// (Dropped, not Failed) and their identified clients resume on redial;
+// the server itself keeps serving. This is the fault-injection lever a
+// failover drill pulls to simulate a shard's network dying ahead of the
+// process.
+func (s *Server) Sever() {
+	s.muxMu.Lock()
+	for sc := range s.muxConns {
+		sc.Close()
+	}
+	s.muxMu.Unlock()
+	s.mu.RLock()
+	for _, m := range s.markets {
+		m.sever()
+	}
+	s.mu.RUnlock()
+}
+
+// wdEntry is one session under watchdog patrol: the carrier to sever and
+// the wall-clock nanos of its last envelope progress.
+type wdEntry struct {
+	closer io.Closer
+	last   atomic.Int64
+	fired  atomic.Bool
+}
+
+// progressCodec wraps a session's codec so every successful Send or Recv
+// refreshes the watchdog timestamp. Flush forwards to the underlying
+// codec (wire.Flush type-asserts, so the wrapper must re-export it).
+type progressCodec struct {
+	wire.Codec
+	wd *wdEntry
+}
+
+func (p progressCodec) Send(e *wire.Envelope) error {
+	err := p.Codec.Send(e)
+	if err == nil {
+		p.wd.last.Store(time.Now().UnixNano())
+	}
+	return err
+}
+
+func (p progressCodec) Recv() (*wire.Envelope, error) {
+	e, err := p.Codec.Recv()
+	if err == nil {
+		p.wd.last.Store(time.Now().UnixNano())
+	}
+	return e, err
+}
+
+func (p progressCodec) Flush() error { return wire.Flush(p.Codec) }
+
+// watchdogBudget resolves the configured progress budget: explicit if
+// set, 4x the IO timeout by default, disabled (0) when negative.
+func (s *Server) watchdogBudget() time.Duration {
+	switch {
+	case s.cfg.watchdog > 0:
+		return s.cfg.watchdog
+	case s.cfg.watchdog < 0:
+		return 0
+	default:
+		return 4 * s.cfg.ioTimeout
+	}
+}
+
+// watchdogTrack registers a session with the watchdog, stamped as having
+// just made progress (the handshake counts).
+func (s *Server) watchdogTrack(closer io.Closer) *wdEntry {
+	wd := &wdEntry{closer: closer}
+	wd.last.Store(time.Now().UnixNano())
+	s.wdMu.Lock()
+	if s.wdSessions == nil {
+		s.wdSessions = make(map[*wdEntry]struct{})
+	}
+	s.wdSessions[wd] = struct{}{}
+	s.wdMu.Unlock()
+	return wd
+}
+
+func (s *Server) watchdogUntrack(wd *wdEntry) {
+	s.wdMu.Lock()
+	delete(s.wdSessions, wd)
+	s.wdMu.Unlock()
+}
+
+// reapStalled severs every patrolled session whose last envelope progress
+// is older than the budget. The severed handler unwinds with a transport
+// error and classifies itself Watchdog via the fired flag.
+func (s *Server) reapStalled(budget time.Duration) {
+	cutoff := time.Now().Add(-budget).UnixNano()
+	s.wdMu.Lock()
+	defer s.wdMu.Unlock()
+	for wd := range s.wdSessions {
+		if wd.last.Load() < cutoff && !wd.fired.Swap(true) {
+			wd.closer.Close()
+		}
+	}
 }
 
 // NewServer builds an empty multi-market server. Register at least one
@@ -591,7 +747,7 @@ func (s *Server) Markets() []string {
 
 // Metrics returns a snapshot of the server's counters.
 func (s *Server) Metrics() ServerMetrics {
-	return ServerMetrics{
+	m := ServerMetrics{
 		Accepted:   s.accepted.Load(),
 		Sessions:   s.sessions.Load(),
 		Closed:     s.closed.Load(),
@@ -600,8 +756,14 @@ func (s *Server) Metrics() ServerMetrics {
 		Busy:       s.busy.Load(),
 		Redirected: s.redirected.Load(),
 		Evicted:    s.evicted.Load(),
+		Dropped:    s.dropped.Load(),
+		Watchdog:   s.watchdog.Load(),
 		Active:     s.active.Load(),
 	}
+	if st := s.State(); st != nil {
+		m.Quarantined = st.st.Quarantined()
+	}
+	return m
 }
 
 // MarketMetrics snapshots every registered market's session counts and
@@ -640,15 +802,18 @@ func (s *Server) statsReport() *wire.StatsReport {
 	sm := s.Metrics()
 	rep := &wire.StatsReport{
 		Server: wire.ServerStats{
-			Accepted:   sm.Accepted,
-			Sessions:   sm.Sessions,
-			Closed:     sm.Closed,
-			Failed:     sm.Failed,
-			Rejected:   sm.Rejected,
-			Busy:       sm.Busy,
-			Redirected: sm.Redirected,
-			Evicted:    sm.Evicted,
-			Active:     sm.Active,
+			Accepted:    sm.Accepted,
+			Sessions:    sm.Sessions,
+			Closed:      sm.Closed,
+			Failed:      sm.Failed,
+			Rejected:    sm.Rejected,
+			Busy:        sm.Busy,
+			Redirected:  sm.Redirected,
+			Evicted:     sm.Evicted,
+			Dropped:     sm.Dropped,
+			Watchdog:    sm.Watchdog,
+			Quarantined: sm.Quarantined,
+			Active:      sm.Active,
 		},
 		Markets: make(map[string]wire.MarketStats),
 	}
@@ -759,6 +924,27 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 				case <-t.C:
 					_ = st.Flush()
 				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	// The watchdog reaper patrols in-flight sessions: one that moves no
+	// envelope within the budget is severed so a wedged or glacial peer
+	// cannot pin a worker past the budget. Sweeping at budget/4 bounds the
+	// overshoot; the per-read IO timeout still handles total silence.
+	if budget := s.watchdogBudget(); budget > 0 {
+		wdCtx, wdStop := context.WithCancel(ctx)
+		defer wdStop()
+		go func() {
+			t := time.NewTicker(budget / 4)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					s.reapStalled(budget)
+				case <-wdCtx.Done():
 					return
 				}
 			}
@@ -969,7 +1155,7 @@ func (s *Server) serveMux(conn net.Conn, codec wire.Codec, ch *wire.ClientHello,
 	hello.Markets = markets
 	hello.Modes = modes
 
-	sc, err := wire.NewMuxServerConn(conn, codec, s.cfg.ioTimeout, s.muxSessionCap())
+	sc, err := wire.NewMuxServerConn(conn, codec, s.cfg.ioTimeout, s.cfg.idleTimeout, s.muxSessionCap())
 	if err != nil {
 		s.rejected.Add(1)
 		notify(name, nil, err)
@@ -1098,6 +1284,16 @@ func (s *Server) serveSession(codec wire.Codec, ch *wire.ClientHello, remote str
 	mkt.sessions.Add(1)
 	s.active.Add(1)
 	mkt.active.Add(1)
+	// The bargaining loop runs under watchdog patrol: the codec wrapper
+	// stamps every successful envelope, the reaper severs the carrier when
+	// the stamp goes stale past the budget.
+	var wd *wdEntry
+	sessionCodec := codec
+	if s.watchdogBudget() > 0 {
+		wd = s.watchdogTrack(closer)
+		sessionCodec = progressCodec{Codec: codec, wd: wd}
+		defer s.watchdogUntrack(wd)
+	}
 	var sum *SessionSummary
 	var serr error
 	if mode == wire.ModeImperfect {
@@ -1105,9 +1301,9 @@ func (s *Server) serveSession(codec wire.Codec, ch *wire.ClientHello, remote str
 		if ch.Imperfect.ResumeRound > 0 {
 			mkt.resumed.Add(1)
 		}
-		sum, serr = mkt.ds.ServeImperfectCodec(codec, hello, ch.Imperfect)
+		sum, serr = mkt.ds.ServeImperfectCodec(sessionCodec, hello, ch.Imperfect)
 	} else {
-		sum, serr = mkt.ds.ServeCodec(codec, hello)
+		sum, serr = mkt.ds.ServeCodec(sessionCodec, hello)
 	}
 	mkt.active.Add(-1)
 	s.active.Add(-1)
@@ -1116,6 +1312,13 @@ func (s *Server) serveSession(codec wire.Codec, ch *wire.ClientHello, remote str
 		// The migration severed this session, the client resumes on the new
 		// owner: fabric choreography, not a failure.
 		s.evicted.Add(1)
+	case serr != nil && wd != nil && wd.fired.Load():
+		// The watchdog severed it: no envelope progress within the budget.
+		s.watchdog.Add(1)
+	case serr != nil && wire.IsTransportError(serr):
+		// The transport died under the session — a reset, a timeout, a torn
+		// conn. The client retries or resumes; the engine did nothing wrong.
+		s.dropped.Add(1)
 	case serr != nil:
 		s.failed.Add(1)
 	case sum != nil && sum.Closed:

@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"encoding/hex"
 	"fmt"
+	"log"
 	"path/filepath"
 	"sync"
 
@@ -140,6 +141,20 @@ func (m *MarketState) restoredCheckpoints() int {
 	return n
 }
 
+// quarantineCorrupt moves a snapshot aside when its load error indicates
+// damage (not mere absence or a future schema), logging the disposition —
+// the boot-time breadcrumb an operator greps for after a crash.
+func quarantineCorrupt(st *store.Store, name string, err error) {
+	if !store.IsCorrupt(err) {
+		return
+	}
+	if qerr := st.Quarantine(name); qerr != nil {
+		log.Printf("vflmarket: snapshot %s corrupt (%v); quarantine failed: %v", name, err, qerr)
+		return
+	}
+	log.Printf("vflmarket: quarantined corrupt snapshot %s: %v", name, err)
+}
+
 // marketSlug maps a market name to a filename-safe snapshot path segment.
 // Clean names pass through (so the on-disk layout stays readable); anything
 // else is digested.
@@ -215,14 +230,23 @@ func (b *ckptBook) Load(clientID string) (*core.SellerCheckpoint, bool) {
 	b.mu.Unlock()
 
 	// Cold: fall through to the snapshot store. Any failure — missing,
-	// corrupt, truncated, future-versioned — is simply a miss; the client
-	// is told to start fresh.
-	payload, _, err := b.st.Load(b.prefix+clientID, ckptSchemaVersion)
+	// corrupt, truncated, future-versioned — is a miss and the client is
+	// told to start fresh; a damaged file is additionally quarantined
+	// (renamed aside, logged) so it cannot shadow the fresh checkpoint the
+	// restarted session is about to write.
+	name := b.prefix + clientID
+	payload, _, err := b.st.Load(name, ckptSchemaVersion)
 	if err != nil {
+		quarantineCorrupt(b.st, name, err)
 		return nil, false
 	}
 	var ck core.SellerCheckpoint
-	if gob.NewDecoder(bytes.NewReader(payload)).Decode(&ck) != nil {
+	if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ck); derr != nil {
+		// The frame verified but the payload did not decode: same
+		// disposition as a torn frame.
+		if qerr := b.st.Quarantine(name); qerr == nil {
+			log.Printf("vflmarket: quarantined undecodable snapshot %s: %v", name, derr)
+		}
 		return nil, false
 	}
 	b.mu.Lock()
